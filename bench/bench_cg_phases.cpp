@@ -1,0 +1,110 @@
+// Per-phase decomposition of the Figure 2 CG iteration.
+//
+// The paper: "the work per iteration is modest, amounting to a single
+// matrix-vector multiplication ..., two inner products ..., and several
+// SAXPY operations."  This bench makes that decomposition quantitative:
+// the Figure 2 loop is annotated with PhaseProfile and the table reports,
+// per phase: flops, messages, bytes and modeled time, per iteration.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "hpfcg/msg/phase_profile.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::PhaseProfile;
+using hpfcg::msg::Process;
+using hpfcg::msg::Stats;
+
+int main() {
+  const auto a = hpfcg::sparse::laplacian_2d(48, 48);
+  const std::size_t n = a.n_rows();
+  const auto b_full = hpfcg::sparse::random_rhs(n, 777);
+  const std::size_t iters = 40;
+
+  for (const int np : {4, 16}) {
+    // One profile per rank; aggregate after the run.
+    std::vector<std::map<std::string, Stats>> profiles(np);
+
+    hpfcg_bench::run_machine(np, [&](Process& proc) {
+      auto dist = std::make_shared<const Distribution>(
+          Distribution::block(n, np));
+      auto mat = hpfcg::sparse::DistCsr<double>::row_aligned(proc, a, dist);
+      DistributedVector<double> b(proc, dist), x(proc, dist);
+      auto r = DistributedVector<double>::aligned_like(b);
+      auto p = DistributedVector<double>::aligned_like(b);
+      auto q = DistributedVector<double>::aligned_like(b);
+      b.from_global(b_full);
+      hpfcg::hpf::fill(x, 0.0);
+      hpfcg::hpf::assign(b, r);
+      hpfcg::hpf::assign(r, p);
+
+      PhaseProfile prof(proc);
+      prof.enter("dot merges");
+      double rho = hpfcg::hpf::dot_product(r, r);
+      for (std::size_t k = 0; k < iters; ++k) {
+        prof.enter("sparse matvec (incl. p-broadcast)");
+        mat.matvec(p, q);
+        prof.enter("dot merges");
+        const double pq = hpfcg::hpf::dot_product(p, q);
+        const double alpha = rho / pq;
+        prof.enter("saxpy updates");
+        hpfcg::hpf::axpy(alpha, p, x);
+        hpfcg::hpf::axpy(-alpha, q, r);
+        prof.enter("dot merges");
+        const double rho_new = hpfcg::hpf::dot_product(r, r);
+        const double beta = rho_new / rho;
+        prof.enter("saxpy updates");
+        hpfcg::hpf::aypx(beta, r, p);
+        rho = rho_new;
+      }
+      prof.exit();
+      profiles[static_cast<std::size_t>(proc.rank())] = prof.phases();
+    });
+
+    hpfcg::util::Table table(
+        "Figure 2 per-iteration phase decomposition (n=" + std::to_string(n) +
+            ", NP=" + std::to_string(np) + ", " + std::to_string(iters) +
+            " iterations)",
+        {"phase", "flops/it (total)", "msgs/it", "bytes/it",
+         "modeled[us]/it (max rank)", "share"});
+
+    // Aggregate.
+    std::map<std::string, Stats> total;
+    std::map<std::string, double> max_time;
+    for (const auto& rank_prof : profiles) {
+      for (const auto& [name, s] : rank_prof) {
+        total[name] += s;
+        max_time[name] = std::max(max_time[name], s.modeled_seconds());
+      }
+    }
+    double makespan = 0.0;
+    for (const auto& [name, t] : max_time) makespan += t;
+    const double it = static_cast<double>(iters);
+    for (const auto& [name, s] : total) {
+      table.add_row(
+          {name, hpfcg::util::fmt(static_cast<double>(s.flops) / it, 5),
+           hpfcg::util::fmt(static_cast<double>(s.messages_sent) / it, 4),
+           hpfcg::util::fmt(static_cast<double>(s.bytes_sent) / it, 5),
+           hpfcg::util::fmt(max_time[name] * 1e6 / it, 4),
+           hpfcg::util::fmt(100.0 * max_time[name] / makespan, 3) + "%"});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout
+      << "\nReading: the matvec (dominated by its p-broadcast) and the two\n"
+         "DOT_PRODUCT merges split the per-iteration cost; at fixed n the\n"
+         "merges' t_s*logNP start-ups grow into the majority as NP rises,\n"
+         "while the three SAXPY-class updates communicate nothing and\n"
+         "shrink with 1/NP — the paper's Section 2/4 breakdown, measured.\n";
+  return 0;
+}

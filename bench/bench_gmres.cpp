@@ -1,0 +1,83 @@
+// Ablation B2: GMRES(m) vs CG — the "longer recurrences (which require
+// greater storage)" trade-off of Section 2.1, made quantitative.
+//
+//   * storage: CG keeps 4 distributed vectors; GMRES(m) keeps m+1 basis
+//     vectors plus the Hessenberg;
+//   * communication: CG performs 2 DOT_PRODUCT merges per iteration;
+//     GMRES's j-th Arnoldi step performs j+2 (growing with the basis);
+//   * capability: GMRES handles the non-symmetric systems CG cannot.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hpfcg/solvers/dist_gmres.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+namespace sv = hpfcg::solvers;
+
+int main() {
+  const auto a = hpfcg::sparse::laplacian_2d(32, 32);
+  const std::size_t n = a.n_rows();
+  const auto b_full = hpfcg::sparse::random_rhs(n, 808);
+  const int np = 8;
+
+  hpfcg::util::Table table(
+      "B2 — CG vs GMRES(m) on an SPD system (n=" + std::to_string(n) +
+          ", NP=" + std::to_string(np) + ", tol 1e-8)",
+      {"solver", "iters", "converged", "vectors stored", "collectives",
+       "bytes total", "modeled[ms]"});
+
+  const auto run_one = [&](const char* name, std::size_t restart) {
+    sv::SolveResult result;
+    auto rt = hpfcg_bench::run_machine(np, [&](Process& proc) {
+      auto dist = std::make_shared<const Distribution>(
+          Distribution::block(n, np));
+      auto mat = hpfcg::sparse::DistCsr<double>::row_aligned(proc, a, dist);
+      DistributedVector<double> b(proc, dist), x(proc, dist);
+      b.from_global(b_full);
+      const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+        mat.matvec(p, q);
+      };
+      sv::SolveResult res;
+      if (restart == 0) {
+        res = sv::cg_dist<double>(op, b, x, {.max_iterations = 3000,
+                                             .rel_tolerance = 1e-8});
+      } else {
+        res = sv::gmres_dist<double>(
+            op, b, x,
+            {.base = {.max_iterations = 3000, .rel_tolerance = 1e-8},
+             .restart = restart});
+      }
+      if (proc.rank() == 0) result = res;
+    });
+    const std::size_t stored = restart == 0 ? 4 : restart + 2;
+    table.add_row({name, std::to_string(result.iterations),
+                   result.converged ? "yes" : "no", std::to_string(stored),
+                   hpfcg::util::fmt_count(rt->total_stats().collectives),
+                   hpfcg::util::fmt_count(rt->total_stats().bytes_sent),
+                   hpfcg::util::fmt(rt->modeled_makespan() * 1e3, 4)});
+  };
+
+  run_one("CG", 0);
+  run_one("GMRES(5)", 5);
+  run_one("GMRES(20)", 20);
+  run_one("GMRES(60)", 60);
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: on SPD systems CG's 3-term recurrence wins outright —\n"
+         "fixed storage, 2 merges per step.  GMRES needs the m+1-vector\n"
+         "basis and its merge count grows with the basis depth; small\n"
+         "restarts shrink storage but inflate iterations.  This is the\n"
+         "quantitative form of Section 2.1's storage remark — and the\n"
+         "reason the paper centres its HPF evaluation on CG.\n";
+  return 0;
+}

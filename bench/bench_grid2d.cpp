@@ -1,0 +1,99 @@
+// Ablation B1 (beyond the paper): 2-D (BLOCK, BLOCK) decomposition vs the
+// paper's 1-D stripes.
+//
+// Section 4 proves 1-D stripes cannot beat O(n) communication per sweep in
+// either direction.  The 2-D grid decomposition (from Kumar et al., the
+// paper's own reference [17]) gathers the vector only within grid columns
+// and reduces partial results only within grid rows: O(n/sqrt(P)) per rank.
+// This bench quantifies the crossover the paper's stripes-only analysis
+// leaves on the table.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hpfcg/hpf/grid2d.hpp"
+#include "hpfcg/hpf/matvec_dense.hpp"
+#include "hpfcg/util/timer.hpp"
+
+using hpfcg::hpf::DenseGrid2DMatrix;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::hpf::Grid2D;
+using hpfcg::msg::Process;
+
+namespace {
+
+double entry(std::size_t i, std::size_t j) {
+  return 1.0 / (1.0 + static_cast<double>(i + 2 * j));
+}
+
+}  // namespace
+
+int main() {
+  hpfcg::util::Table table(
+      "B1 — dense matvec: 1-D stripes vs 2-D (BLOCK,BLOCK) grid",
+      {"layout", "n", "NP", "bytes/rank(max)", "msgs/rank(max)",
+       "modeled[ms]", "wall[ms]"});
+
+  for (const std::size_t n : {std::size_t{256}, std::size_t{512}}) {
+    for (const int np : {4, 16}) {
+      // 1-D stripes (the paper's Scenario 1).
+      hpfcg::util::Timer w1;
+      auto rt1 = hpfcg_bench::run_machine(np, [&](Process& proc) {
+        auto dist = std::make_shared<const Distribution>(
+            Distribution::block(n, np));
+        hpfcg::hpf::DenseRowBlockMatrix<double> a(proc, dist);
+        a.set_from(entry);
+        DistributedVector<double> p(proc, dist), q(proc, dist);
+        p.set_from([](std::size_t g) { return static_cast<double>(g % 3); });
+        hpfcg::hpf::matvec_rowwise(a, p, q);
+      });
+      const double wall1 = w1.millis();
+      // 2-D grid.
+      hpfcg::util::Timer w2;
+      auto rt2 = hpfcg_bench::run_machine(np, [&](Process& proc) {
+        const auto grid = Grid2D::squarest(np);
+        DenseGrid2DMatrix<double> a(proc, grid, n);
+        a.set_from(entry);
+        DistributedVector<double> p(proc, a.vector_dist());
+        DistributedVector<double> q(proc, a.result_dist());
+        p.set_from([](std::size_t g) { return static_cast<double>(g % 3); });
+        a.matvec(p, q);
+      });
+      const double wall2 = w2.millis();
+
+      const auto per_rank_max = [](const hpfcg::msg::Runtime& rt) {
+        std::uint64_t bytes = 0, msgs = 0;
+        for (int r = 0; r < rt.nprocs(); ++r) {
+          bytes = std::max(bytes, rt.stats(r).bytes_sent);
+          msgs = std::max(msgs, rt.stats(r).messages_sent);
+        }
+        return std::make_pair(bytes, msgs);
+      };
+      const auto [b1, m1] = per_rank_max(*rt1);
+      const auto [b2, m2] = per_rank_max(*rt2);
+      table.add_row({"stripes (BLOCK,*)", std::to_string(n),
+                     std::to_string(np), hpfcg::util::fmt_count(b1),
+                     hpfcg::util::fmt_count(m1),
+                     hpfcg::util::fmt(rt1->modeled_makespan() * 1e3, 4),
+                     hpfcg::util::fmt(wall1, 4)});
+      table.add_row({"2-D grid (BLOCK,BLOCK)", std::to_string(n),
+                     std::to_string(np), hpfcg::util::fmt_count(b2),
+                     hpfcg::util::fmt_count(m2),
+                     hpfcg::util::fmt(rt2->modeled_makespan() * 1e3, 4),
+                     hpfcg::util::fmt(wall2, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: at NP=16 the 2-D layout moves ~half the stripes'\n"
+         "per-rank bytes (n/pr + n/pc ≈ n/2 on a 4x4 grid vs ~n for\n"
+         "stripes), and the gap widens as sqrt(NP).  It pays ~log NP more\n"
+         "start-ups, so stripes still win when t_startup dominates (small\n"
+         "n) — the crossover the paper's stripes-only Section 4 analysis\n"
+         "leaves unexplored.\n";
+  return 0;
+}

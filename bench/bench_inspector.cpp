@@ -1,0 +1,100 @@
+// Ablation B4: inspector/executor cost and communication-schedule reuse.
+//
+// Section 5.1: "Inspector-executor mechanisms [15] which are costly in
+// nature should be employed for the determination of the owner of the lhs"
+// — the paper proposes ON PROCESSOR to avoid them, and cites schedule
+// reuse [20] as the standard mitigation.  This bench measures all three
+// regimes on an irregular gather:
+//
+//   re-inspect    — inspector before every sweep (what a naive compiler
+//                   emits for a FORALL with runtime indirection);
+//   schedule reuse — one inspector, many executors (Ponnusamy et al.);
+//   ON PROCESSOR  — indirection vanishes because the iteration mapping is
+//                   declared: here, the special case where the index map
+//                   is the identity on the owning rank (no communication).
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hpfcg/ext/inspector.hpp"
+#include "hpfcg/ext/on_processor.hpp"
+#include "hpfcg/util/timer.hpp"
+
+using hpfcg::ext::GatherSchedule;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+
+int main() {
+  const std::size_t n = 8192;
+  const int sweeps = 20;
+
+  hpfcg::util::Table table(
+      "B4 — irregular gather result(i) = x(p(i)): inspector cost and reuse "
+      "(" + std::to_string(sweeps) + " sweeps, n=" + std::to_string(n) + ")",
+      {"regime", "NP", "bytes total", "msgs total", "modeled[ms]",
+       "wall[ms]"});
+
+  for (const int np : {4, 16}) {
+    enum class Regime { kReinspect, kReuse, kLocalMapped };
+    for (const auto regime :
+         {Regime::kReinspect, Regime::kReuse, Regime::kLocalMapped}) {
+      hpfcg::util::Timer wall;
+      auto rt = hpfcg_bench::run_machine(np, [&](Process& proc) {
+        auto dist = std::make_shared<const Distribution>(
+            Distribution::block(n, np));
+        DistributedVector<double> x(proc, dist), result(proc, dist);
+        DistributedVector<std::size_t> idx(proc, dist);
+        x.set_from([](std::size_t g) { return static_cast<double>(g % 97); });
+
+        if (regime == Regime::kLocalMapped) {
+          // The ON PROCESSOR regime: the programmer asserts the iteration
+          // mapping makes every access local (here: a within-block
+          // permutation), so no inspector and no messages are needed.
+          const auto [lo, hi] = dist->local_range(proc.rank());
+          idx.set_from([lo = lo, hi = hi](std::size_t g) {
+            return lo + ((g - lo) * 7 + 1) % (hi - lo);
+          });
+          for (int s = 0; s < sweeps; ++s) {
+            hpfcg::ext::on_processor(
+                proc, n, hpfcg::ext::BlockMap{n, proc.nprocs()},
+                [&](std::size_t i) {
+                  result.at_global(i) = x.at_global(idx.at_global(i));
+                });
+          }
+          return;
+        }
+
+        idx.set_from([n](std::size_t g) { return (g * 131 + 17) % n; });
+        if (regime == Regime::kReuse) {
+          GatherSchedule<double> sched(proc, idx, dist);
+          for (int s = 0; s < sweeps; ++s) sched.execute(x, result);
+        } else {
+          for (int s = 0; s < sweeps; ++s) {
+            GatherSchedule<double> sched(proc, idx, dist);
+            sched.execute(x, result);
+          }
+        }
+      });
+      static const char* names[] = {"inspector every sweep",
+                                    "schedule reuse [20]",
+                                    "ON PROCESSOR local mapping"};
+      table.add_row({names[static_cast<int>(regime)], std::to_string(np),
+                     hpfcg::util::fmt_count(rt->total_stats().bytes_sent),
+                     hpfcg::util::fmt_count(rt->total_stats().messages_sent),
+                     hpfcg::util::fmt(rt->modeled_makespan() * 1e3, 4),
+                     hpfcg::util::fmt(wall.millis(), 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: re-inspecting doubles the traffic (index lists travel\n"
+         "with every sweep); schedule reuse pays the inspector once; and a\n"
+         "declared-local iteration mapping (the ON PROCESSOR proposal)\n"
+         "eliminates the machinery entirely — the paper's Section 5.1\n"
+         "argument, end to end.\n";
+  return 0;
+}

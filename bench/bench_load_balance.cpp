@@ -1,0 +1,108 @@
+// Experiment A5 (Section 5.2.2): irregular sparsity defeats uniform
+// distributions; the load-balancing partitioner restores balance.
+//
+// Sweeps matrices from regular (Laplacian) to heavily irregular (power-law
+// with fat hubs) and reports, per partitioner: the per-processor nonzero
+// bottleneck, the modeled matvec critical path, and end-to-end CG time.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hpfcg/ext/sparse_descriptor.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/util/timer.hpp"
+
+using hpfcg::ext::Partitioner;
+using hpfcg::ext::SparseMatrixCsr;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+namespace sv = hpfcg::solvers;
+
+namespace {
+
+void bench_matrix(const std::string& label, const hpfcg::sparse::Csr<double>& a,
+                  int np) {
+  hpfcg::util::Table table(
+      "A5 — " + label + " (n=" + std::to_string(a.n_rows()) +
+          ", nnz=" + std::to_string(a.nnz()) + ", NP=" + std::to_string(np) +
+          ")",
+      {"partitioner", "max nnz", "imbalance", "max compute[us]",
+       "matvec modeled[ms]", "CG modeled[ms]", "CG iters"});
+  const auto b_full = hpfcg::sparse::random_rhs(a.n_rows(), 505);
+  const double avg = static_cast<double>(a.nnz()) / np;
+
+  for (const auto which :
+       {Partitioner::kUniformAtomBlock, Partitioner::kBalancedGreedy,
+        Partitioner::kBalancedOptimal}) {
+    // Single matvec critical path.
+    auto rt_mv = hpfcg_bench::run_machine(np, [&](Process& proc) {
+      SparseMatrixCsr<double> sm(proc, a, which);
+      auto p = sm.make_vector();
+      auto q = sm.make_vector();
+      p.set_from([](std::size_t g) { return static_cast<double>(g % 5); });
+      sm.dist().matvec(p, q);
+    });
+    // Whole CG solve.
+    sv::SolveResult result;
+    std::size_t max_load = 0;
+    auto rt_cg = hpfcg_bench::run_machine(np, [&](Process& proc) {
+      SparseMatrixCsr<double> sm(proc, a, which);
+      auto b = sm.make_vector();
+      auto x = sm.make_vector();
+      b.from_global(b_full);
+      const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+        sm.dist().matvec(p, q);
+      };
+      const auto res = sv::cg_dist<double>(
+          op, b, x, {.max_iterations = 500, .rel_tolerance = 1e-8});
+      if (proc.rank() == 0) {
+        result = res;
+        for (int r = 0; r < np; ++r) {
+          max_load = std::max(max_load, sm.dist().nnz_dist().local_count(r));
+        }
+      }
+    });
+    // The quantity the partitioner balances: the per-rank multiply-add
+    // time of the sweep (the broadcast cost is partition-independent).
+    double max_compute = 0.0;
+    for (int r = 0; r < np; ++r) {
+      max_compute =
+          std::max(max_compute, rt_mv->stats(r).modeled_compute_seconds);
+    }
+    table.add_row({hpfcg::ext::partitioner_name(which),
+                   hpfcg::util::fmt_count(max_load),
+                   hpfcg::util::fmt(static_cast<double>(max_load) / avg, 3),
+                   hpfcg::util::fmt(max_compute * 1e6, 4),
+                   hpfcg::util::fmt(rt_mv->modeled_makespan() * 1e3, 4),
+                   hpfcg::util::fmt(rt_cg->modeled_makespan() * 1e3, 4),
+                   std::to_string(result.iterations)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const int np = 8;
+  bench_matrix("regular 2-D Laplacian (uniform rows)",
+               hpfcg::sparse::laplacian_2d(36, 36), np);
+  bench_matrix("mildly irregular random SPD",
+               hpfcg::sparse::random_spd(1296, 6, 71), np);
+  bench_matrix("power-law irregular (fat hubs)",
+               hpfcg::sparse::powerlaw_spd(1296, 3, 8, 200, 72), np);
+
+  std::cout
+      << "\nReading: on the regular Laplacian all partitioners tie (the\n"
+         "uniform case of Section 5.2.1); as the row-degree distribution\n"
+         "grows tails, the uniform atom blocks leave one processor with a\n"
+         "multiple of the average load and the modeled critical path grows\n"
+         "with it, while the balanced partitioners hold imbalance near 1 —\n"
+         "the motivation for REDISTRIBUTE ... USING a load-balancing\n"
+         "partitioner.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Experiment F3 (Figure 3, Scenario 1): row-wise partitioned matrix-vector
+// product.  A is (BLOCK, *), vectors are (BLOCK).
+//
+// The paper's claims reproduced here:
+//   * the product requires one all-to-all broadcast of the vector p,
+//     costing t_s*logNP + t_c*(n/NP)(NP-1) on a hypercube;
+//   * after the local phase "no communication is needed to rearrange the
+//     distribution of the results" — measured as zero post-compute bytes;
+//   * dense and CSR variants share the broadcast; CSR adds the missing-
+//     element fetches only when the nnz arrays are split off row
+//     boundaries (that pathology is bench_atom_distribution's subject).
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hpfcg/hpf/dense_matrix.hpp"
+#include "hpfcg/hpf/matvec_dense.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/util/timer.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+
+namespace {
+
+void dense_table() {
+  const hpfcg::msg::CostParams params;
+  hpfcg::util::Table table(
+      "F3 — dense (BLOCK,*) row-wise matvec: broadcast + local GEMV",
+      {"n", "NP", "bytes moved", "msgs", "modeled[ms]",
+       "predicted bcast+flops[ms]", "wall[ms]"});
+  for (const std::size_t n : {std::size_t{256}, std::size_t{512}}) {
+    for (const int np : hpfcg_bench::np_sweep()) {
+      hpfcg::util::Timer wall;
+      auto rt = hpfcg_bench::run_machine(np, [&](Process& proc) {
+        auto dist = std::make_shared<const Distribution>(
+            Distribution::block(n, np));
+        hpfcg::hpf::DenseRowBlockMatrix<double> a(proc, dist);
+        a.set_from([](std::size_t i, std::size_t j) {
+          return hpfcg::sparse::em_dense_entry(i, j, 8.0);
+        });
+        DistributedVector<double> p(proc, dist), q(proc, dist);
+        p.set_from([](std::size_t g) { return static_cast<double>(g % 3); });
+        hpfcg::hpf::matvec_rowwise(a, p, q);
+      });
+      const double wall_ms = wall.millis();
+      const std::size_t per_rank = (n + np - 1) / static_cast<std::size_t>(np);
+      const double predicted =
+          rt->cost().allgather_time(per_rank * 8) +
+          2.0 * static_cast<double>(per_rank) * static_cast<double>(n) *
+              params.t_flop;
+      table.add_row({std::to_string(n), std::to_string(np),
+                     hpfcg::util::fmt_count(rt->total_stats().bytes_sent),
+                     hpfcg::util::fmt_count(rt->total_stats().messages_sent),
+                     hpfcg::util::fmt(rt->modeled_makespan() * 1e3, 4),
+                     hpfcg::util::fmt(predicted * 1e3, 4),
+                     hpfcg::util::fmt(wall_ms, 4)});
+    }
+  }
+  table.print(std::cout);
+}
+
+void csr_table() {
+  hpfcg::util::Table table(
+      "F3 — sparse CSR row-aligned matvec (2-D Laplacian): same broadcast, "
+      "O(nnz/NP) compute",
+      {"n", "nnz", "NP", "bytes moved", "modeled[ms]", "remote nnz",
+       "wall[ms]"});
+  for (const std::size_t side : {std::size_t{32}, std::size_t{64}}) {
+    const auto a = hpfcg::sparse::laplacian_2d(side, side);
+    const std::size_t n = a.n_rows();
+    for (const int np : hpfcg_bench::np_sweep()) {
+      std::size_t remote = 0;
+      hpfcg::util::Timer wall;
+      auto rt = hpfcg_bench::run_machine(np, [&](Process& proc) {
+        auto dist = std::make_shared<const Distribution>(
+            Distribution::block(n, np));
+        auto mat = hpfcg::sparse::DistCsr<double>::row_aligned(proc, a, dist);
+        DistributedVector<double> p(proc, dist), q(proc, dist);
+        p.set_from([](std::size_t g) { return static_cast<double>(g % 5); });
+        mat.matvec(p, q);
+        if (proc.rank() == 0) remote = mat.remote_nnz();
+      });
+      table.add_row({std::to_string(n), std::to_string(a.nnz()),
+                     std::to_string(np),
+                     hpfcg::util::fmt_count(rt->total_stats().bytes_sent),
+                     hpfcg::util::fmt(rt->modeled_makespan() * 1e3, 4),
+                     hpfcg::util::fmt_count(remote),
+                     hpfcg::util::fmt(wall.millis(), 4)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: communication is exactly the p-broadcast (bytes ~\n"
+               "(NP-1)/NP * n * 8 per sweep); the result vector q needs no\n"
+               "rearrangement, and with row-aligned (ATOM) nnz storage the\n"
+               "remote-element count is zero — Figure 3's data flow.\n";
+}
+
+}  // namespace
+
+int main() {
+  dense_table();
+  csr_table();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation B3: matrix-free stencil (CSHIFT/EOSHIFT) vs assembled CSR.
+//
+// HPF programs often express grid operators with shift intrinsics instead
+// of assembled sparse matrices.  For the 1-D Laplacian both compute the
+// same q = A p, but their communication differs fundamentally:
+//   assembled CSR: all-to-all broadcast of p      — O(n) bytes per sweep;
+//   shift stencil: boundary exchange per EOSHIFT  — O(1) bytes per rank.
+// CG over both operators produces identical iterates; the table shows the
+// communication gap and where the crossover lies.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hpfcg/hpf/shift.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+namespace sv = hpfcg::solvers;
+
+int main() {
+  hpfcg::util::Table table(
+      "B3 — CG on the 1-D Laplacian: assembled CSR vs CSHIFT stencil",
+      {"operator", "n", "NP", "iters", "bytes/it", "msgs/it", "modeled[ms]"});
+
+  for (const std::size_t n : {std::size_t{1024}, std::size_t{8192}}) {
+    const auto a = hpfcg::sparse::tridiagonal(n, 2.0, -1.0);
+    const auto b_full = hpfcg::sparse::random_rhs(n, 555);
+    const sv::SolveOptions opts{.max_iterations = 60, .rel_tolerance = 0.0};
+
+    for (const int np : {4, 16}) {
+      for (const bool stencil : {false, true}) {
+        sv::SolveResult result;
+        auto rt = hpfcg_bench::run_machine(np, [&](Process& proc) {
+          auto dist = std::make_shared<const Distribution>(
+              Distribution::block(n, np));
+          DistributedVector<double> b(proc, dist), x(proc, dist);
+          b.from_global(b_full);
+          sv::DistOp<double> op;
+          std::shared_ptr<hpfcg::sparse::DistCsr<double>> mat;
+          if (stencil) {
+            op = [](const DistributedVector<double>& p,
+                    DistributedVector<double>& q) {
+              hpfcg::hpf::laplace1d_stencil(p, q);
+            };
+          } else {
+            mat = std::make_shared<hpfcg::sparse::DistCsr<double>>(
+                hpfcg::sparse::DistCsr<double>::row_aligned(proc, a, dist));
+            op = [mat](const DistributedVector<double>& p,
+                       DistributedVector<double>& q) { mat->matvec(p, q); };
+          }
+          const auto res = sv::cg_dist<double>(op, b, x, opts);
+          if (proc.rank() == 0) result = res;
+        });
+        const double it = static_cast<double>(result.iterations);
+        table.add_row(
+            {stencil ? "CSHIFT stencil" : "assembled CSR",
+             std::to_string(n), std::to_string(np),
+             std::to_string(result.iterations),
+             hpfcg::util::fmt(
+                 static_cast<double>(rt->total_stats().bytes_sent) / it, 5),
+             hpfcg::util::fmt(
+                 static_cast<double>(rt->total_stats().messages_sent) / it,
+                 4),
+             hpfcg::util::fmt(rt->modeled_makespan() * 1e3, 4)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the stencil's boundary exchange keeps bytes per\n"
+         "iteration flat in n (two doubles per rank) while the assembled\n"
+         "operator's broadcast grows linearly — at n=8192, NP=16 the\n"
+         "stencil moves ~3 orders of magnitude less matvec data, leaving\n"
+         "the DOT_PRODUCT merges as the only O(log NP) term.  This is the\n"
+         "structured-grid regime where HPF shone; the paper's CG focus is\n"
+         "the *irregular* regime where no such stencil exists.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary regenerates one of the paper's figures/analyses as an
+// ASCII table (model vs. measurement).  Binaries run with no arguments and
+// finish in seconds; all inputs are synthetic and seeded.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/msg/runtime.hpp"
+#include "hpfcg/util/table.hpp"
+
+namespace hpfcg_bench {
+
+/// Machine sizes the tables sweep.
+inline const std::vector<int>& np_sweep() {
+  static const std::vector<int> sizes{1, 2, 4, 8, 16};
+  return sizes;
+}
+
+/// Build a machine, run the SPMD body, return the runtime for inspection.
+inline std::unique_ptr<hpfcg::msg::Runtime> run_machine(
+    int np, const std::function<void(hpfcg::msg::Process&)>& body,
+    hpfcg::msg::CostParams params = {},
+    hpfcg::msg::Topology topo = hpfcg::msg::Topology::kHypercube) {
+  auto rt = std::make_unique<hpfcg::msg::Runtime>(np, params, topo);
+  rt->run(body);
+  return rt;
+}
+
+/// Max modeled wait over ranks (serialization indicator).
+inline double max_wait(const hpfcg::msg::Runtime& rt) {
+  double w = 0.0;
+  for (int r = 0; r < rt.nprocs(); ++r) {
+    w = std::max(w, rt.stats(r).modeled_wait_seconds);
+  }
+  return w;
+}
+
+}  // namespace hpfcg_bench

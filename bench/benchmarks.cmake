@@ -1,0 +1,28 @@
+# Benchmark binaries land in <build>/bench with no CMake clutter, so
+# `for b in build/bench/*; do $b; done` runs exactly the harness.
+function(hpfcg_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    hpfcg_solvers hpfcg_ext hpfcg_sparse hpfcg_hpf hpfcg_msg hpfcg_util
+    benchmark::benchmark Threads::Threads)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+hpfcg_add_bench(bench_vector_ops)
+hpfcg_add_bench(bench_collectives)
+hpfcg_add_bench(bench_matvec_rowwise)
+hpfcg_add_bench(bench_matvec_colwise)
+hpfcg_add_bench(bench_private_merge)
+hpfcg_add_bench(bench_cg_csr)
+hpfcg_add_bench(bench_atom_distribution)
+hpfcg_add_bench(bench_load_balance)
+hpfcg_add_bench(bench_solver_family)
+hpfcg_add_bench(bench_preconditioning)
+hpfcg_add_bench(bench_formats)
+hpfcg_add_bench(bench_grid2d)
+hpfcg_add_bench(bench_gmres)
+hpfcg_add_bench(bench_cg_phases)
+hpfcg_add_bench(bench_stencil)
+hpfcg_add_bench(bench_inspector)

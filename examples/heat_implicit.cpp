@@ -1,0 +1,102 @@
+// Implicit heat equation mini-app: time-stepped CG inside a real
+// application loop.
+//
+// du/dt = alpha * Laplacian(u) on a 1-D rod, backward-Euler discretized:
+//   (I + dt*alpha*A) u^{t+1} = u^t
+// where A is the [−1, 2, −1] Laplacian.  Each step solves an SPD system
+// with distributed CG over the matrix-free CSHIFT stencil — the HPF
+// structured-grid idiom — and the total heat is tracked with the SUM
+// intrinsic (it must decay monotonically toward the boundary temperature).
+//
+//   ./heat_implicit --n 4096 --steps 20 --dt 0.1 --np 8
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "hpfcg/hpf/shift.hpp"
+#include "hpfcg/msg/runtime.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/util/cli.hpp"
+#include "hpfcg/util/table.hpp"
+#include "hpfcg/util/timer.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+namespace sv = hpfcg::solvers;
+
+int main(int argc, char** argv) {
+  hpfcg::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 4096, "rod cells"));
+  const int steps = static_cast<int>(cli.get_int("steps", 20, "time steps"));
+  const double dt = cli.get_double("dt", 0.1, "time step");
+  const double alpha = cli.get_double("alpha", 1.0, "diffusivity");
+  const int np = static_cast<int>(cli.get_int("np", 8, "simulated processors"));
+  if (cli.help_requested()) {
+    std::cout << cli.help_text("heat_implicit");
+    return EXIT_SUCCESS;
+  }
+  cli.finish();
+
+  std::cout << "Implicit heat equation: " << n << " cells, " << steps
+            << " steps of dt=" << dt << ", NP=" << np
+            << " (matrix-free CSHIFT stencil)\n";
+
+  hpfcg::msg::Runtime machine(np);
+  hpfcg::util::Table table("time-stepping log",
+                           {"step", "CG iters", "total heat", "peak temp"});
+  hpfcg::util::Timer wall;
+
+  machine.run([&](hpfcg::msg::Process& proc) {
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(n, proc.nprocs()));
+    DistributedVector<double> u(proc, dist), rhs(proc, dist);
+
+    // Initial condition: a hot spot in the middle of a cold rod.
+    u.set_from([n](std::size_t g) {
+      const double d =
+          static_cast<double>(g) - static_cast<double>(n) / 2.0;
+      return std::exp(-d * d / (0.001 * static_cast<double>(n * n)));
+    });
+
+    // Backward-Euler operator: q = (I + dt*alpha*A) p via the stencil.
+    const double c = dt * alpha;
+    const sv::DistOp<double> op = [&, c](const DistributedVector<double>& p,
+                                         DistributedVector<double>& q) {
+      hpfcg::hpf::laplace1d_stencil(p, q);  // q = A p
+      hpfcg::hpf::scale(c, q);              // q = c A p
+      hpfcg::hpf::axpy(1.0, p, q);          // q = p + c A p
+    };
+
+    for (int step = 1; step <= steps; ++step) {
+      hpfcg::hpf::assign(u, rhs);
+      const auto res =
+          sv::cg_dist<double>(op, rhs, u, {.max_iterations = 2000,
+                                           .rel_tolerance = 1e-10});
+      const double heat = hpfcg::hpf::sum(u);
+      const double peak = hpfcg::hpf::maxval(u);
+      if (proc.rank() == 0) {
+        table.add_row({std::to_string(step), std::to_string(res.iterations),
+                       hpfcg::util::fmt(heat, 6), hpfcg::util::fmt(peak, 4)});
+      }
+      if (!res.converged && proc.rank() == 0) {
+        std::cout << "step " << step << " did not converge!\n";
+      }
+    }
+  });
+
+  table.print(std::cout);
+  std::cout << "\nwall " << hpfcg::util::fmt(wall.seconds(), 3)
+            << " s; total machine traffic "
+            << hpfcg::util::fmt_count(machine.total_stats().bytes_sent)
+            << " bytes ("
+            << hpfcg::util::fmt_count(machine.total_stats().messages_sent)
+            << " messages — stencil CG moves only boundary cells and "
+               "DOT merges)\n"
+            << "Peak temperature decays and heat leaks through the Dirichlet "
+               "ends,\nas physics demands.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,99 @@
+// Irregular-grid scenario (Section 5.2.2): "a very irregular grid model in
+// which some grid points may have many neighbours, while others have very
+// few" — and the REDISTRIBUTE ... USING partitioner extension that fixes
+// the resulting load imbalance.
+//
+// Builds a power-law SPD matrix, solves it with CG under each partitioner,
+// and prints the per-processor nonzero loads plus modeled times.
+//
+//   ./irregular_partitioning --n 2000 --np 8
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "hpfcg/ext/sparse_descriptor.hpp"
+#include "hpfcg/msg/runtime.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/util/cli.hpp"
+#include "hpfcg/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using hpfcg::ext::Partitioner;
+  using hpfcg::ext::SparseMatrixCsr;
+  using hpfcg::hpf::DistributedVector;
+  namespace sv = hpfcg::solvers;
+
+  hpfcg::util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(
+      cli.get_int("n", 1500, "matrix dimension"));
+  const int np = static_cast<int>(cli.get_int("np", 8, "simulated processors"));
+  const auto hubs = static_cast<std::size_t>(
+      cli.get_int("hubs", 6, "number of high-degree hub rows"));
+  const auto hub_degree = static_cast<std::size_t>(
+      cli.get_int("hub-degree", 300, "neighbours per hub"));
+  if (cli.help_requested()) {
+    std::cout << cli.help_text("irregular_partitioning");
+    return EXIT_SUCCESS;
+  }
+  cli.finish();
+
+  const auto a = hpfcg::sparse::powerlaw_spd(n, 3, hubs, hub_degree, 2026);
+  const auto b_full = hpfcg::sparse::random_rhs(n, 11);
+  std::cout << "Irregular power-law matrix: n=" << n << ", nnz=" << a.nnz()
+            << ", " << hubs << " hubs of degree ~" << hub_degree << "\n";
+
+  hpfcg::util::Table table(
+      "REDISTRIBUTE smA USING <partitioner> (Section 5.2.2)",
+      {"partitioner", "max nnz/proc", "avg nnz/proc", "imbalance",
+       "CG iters", "modeled[ms]"});
+
+  for (const auto which :
+       {Partitioner::kUniformAtomBlock, Partitioner::kBalancedGreedy,
+        Partitioner::kBalancedOptimal}) {
+    hpfcg::msg::Runtime machine(np);
+    sv::SolveResult result;
+    std::size_t max_load = 0;
+    machine.run([&](hpfcg::msg::Process& proc) {
+      // !HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)
+      SparseMatrixCsr<double> sm(proc, a);
+      // !EXT$ REDISTRIBUTE smA USING <which>
+      sm.redistribute_using(which);
+
+      auto b = sm.make_vector();
+      auto x = sm.make_vector();
+      b.from_global(b_full);
+      const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+        sm.dist().matvec(p, q);
+      };
+      const auto res =
+          sv::cg_dist<double>(op, b, x, {.max_iterations = 2000,
+                                         .rel_tolerance = 1e-8});
+      if (proc.rank() == 0) {
+        result = res;
+        max_load = 0;
+        for (int r = 0; r < proc.nprocs(); ++r) {
+          max_load =
+              std::max(max_load, sm.dist().nnz_dist().local_count(r));
+        }
+      }
+    });
+    const double avg =
+        static_cast<double>(a.nnz()) / static_cast<double>(np);
+    table.add_row({hpfcg::ext::partitioner_name(which),
+                   hpfcg::util::fmt_count(max_load),
+                   hpfcg::util::fmt(avg, 4),
+                   hpfcg::util::fmt(static_cast<double>(max_load) / avg, 3),
+                   std::to_string(result.iterations),
+                   hpfcg::util::fmt(machine.modeled_makespan() * 1e3, 4)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nimbalance = max/avg nonzeros per processor; the matvec\n"
+               "critical path scales with the heaviest processor, so the\n"
+               "balanced partitioners cut the modeled time accordingly.\n";
+  return EXIT_SUCCESS;
+}

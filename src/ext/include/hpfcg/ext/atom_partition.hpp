@@ -1,0 +1,113 @@
+#pragma once
+// INDIVISABLE atoms and ATOM-based distributions (Section 5.2.1).
+//
+//   !EXT$ INDIVISABLE row(ATOM:i) :: col(i:i+1)
+//   !EXT$ REDISTRIBUTE row(ATOM: BLOCK)
+//
+// An *atom* is the chunk of the nnz arrays enclosed by two consecutive
+// entries of the compressed pointer array — one row of a CSR matrix, one
+// column of a CSC matrix.  An ATOM distribution assigns whole atoms to
+// processors so no row/column is ever split across a cut.  As the paper
+// prescribes, the result is represented by "a small array in the size of
+// the number of processors [that] keeps the cut-off points": our cut-point
+// Distribution.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::ext {
+
+/// The pair of distributions an atom partition induces: one over the atoms
+/// (rows/columns — the alignment target of the vectors) and one over the
+/// nnz index space (the (a, col/row) arrays).
+struct AtomPartition {
+  hpf::DistPtr atom_dist;  ///< over [0, n_atoms)
+  hpf::DistPtr nnz_dist;   ///< over [0, nnz)
+};
+
+/// Derive the nnz cut points from atom cut points through the pointer
+/// array: atom cut c maps to nnz cut ptr[c].
+inline std::vector<std::size_t> nnz_cuts_from_atom_cuts(
+    const std::vector<std::size_t>& ptr,
+    const std::vector<std::size_t>& atom_cuts) {
+  std::vector<std::size_t> out(atom_cuts.size());
+  for (std::size_t r = 0; r < atom_cuts.size(); ++r) {
+    HPFCG_REQUIRE(atom_cuts[r] < ptr.size(),
+                  "atom cut beyond the pointer array");
+    out[r] = ptr[atom_cuts[r]];
+  }
+  return out;
+}
+
+/// ATOM:BLOCK — distribute atoms in equal contiguous blocks (the regular /
+/// uniform sparse block distribution of Section 5.2.1, appropriate when
+/// every row/column has about the same number of entries).
+/// `ptr` is the compressed pointer array (n_atoms+1 entries).
+inline AtomPartition atom_block(const std::vector<std::size_t>& ptr, int np) {
+  HPFCG_REQUIRE(!ptr.empty(), "atom_block: pointer array required");
+  HPFCG_REQUIRE(np >= 1, "atom_block: need at least one processor");
+  const std::size_t n_atoms = ptr.size() - 1;
+  const std::size_t nnz = ptr.back();
+  // Atom cut points replicate HPF BLOCK over the atom index space.
+  const auto block = hpf::Distribution::block(n_atoms, np);
+  std::vector<std::size_t> atom_cuts(static_cast<std::size_t>(np) + 1);
+  for (int r = 0; r < np; ++r) {
+    atom_cuts[static_cast<std::size_t>(r)] = block.local_range(r).first;
+  }
+  atom_cuts.back() = n_atoms;
+
+  AtomPartition part;
+  part.nnz_dist = std::make_shared<const hpf::Distribution>(
+      hpf::Distribution::from_cuts(nnz,
+                                   nnz_cuts_from_atom_cuts(ptr, atom_cuts)));
+  part.atom_dist = std::make_shared<const hpf::Distribution>(
+      hpf::Distribution::from_cuts(n_atoms, std::move(atom_cuts)));
+  return part;
+}
+
+/// ATOM:CYCLIC — atoms dealt round-robin.  The nnz space is then owned
+/// non-contiguously, expressed as an indirect distribution where nnz entry
+/// k belongs to the owner of its enclosing atom.  (Usable with the
+/// Distribution layer; the contiguous-storage matvec kernels require the
+/// contiguous ATOM:BLOCK form.)
+inline AtomPartition atom_cyclic(const std::vector<std::size_t>& ptr, int np) {
+  HPFCG_REQUIRE(!ptr.empty(), "atom_cyclic: pointer array required");
+  const std::size_t n_atoms = ptr.size() - 1;
+  const std::size_t nnz = ptr.back();
+  std::vector<int> owner(nnz, 0);
+  for (std::size_t atom = 0; atom < n_atoms; ++atom) {
+    const int r = static_cast<int>(atom % static_cast<std::size_t>(np));
+    for (std::size_t k = ptr[atom]; k < ptr[atom + 1]; ++k) owner[k] = r;
+  }
+  AtomPartition part;
+  part.atom_dist = std::make_shared<const hpf::Distribution>(
+      hpf::Distribution::cyclic(n_atoms, np));
+  part.nnz_dist = std::make_shared<const hpf::Distribution>(
+      hpf::Distribution::indirect(np, std::move(owner)));
+  return part;
+}
+
+/// Verify the INDIVISABLE invariant: no atom's nnz range crosses an
+/// ownership boundary of `nnz_dist`.  Returns the number of split atoms
+/// (0 for any ATOM distribution; positive for HPF-1's flat BLOCK).
+inline std::size_t count_split_atoms(const std::vector<std::size_t>& ptr,
+                                     const hpf::Distribution& nnz_dist) {
+  std::size_t split = 0;
+  for (std::size_t atom = 0; atom + 1 < ptr.size(); ++atom) {
+    if (ptr[atom] == ptr[atom + 1]) continue;  // empty atom cannot split
+    const int first_owner = nnz_dist.owner(ptr[atom]);
+    for (std::size_t k = ptr[atom] + 1; k < ptr[atom + 1]; ++k) {
+      if (nnz_dist.owner(k) != first_owner) {
+        ++split;
+        break;
+      }
+    }
+  }
+  return split;
+}
+
+}  // namespace hpfcg::ext

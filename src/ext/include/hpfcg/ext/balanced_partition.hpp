@@ -1,0 +1,59 @@
+#pragma once
+// Load-balancing sparse partitioners (Section 5.2.2).
+//
+//   !EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1
+//
+// For irregular sparsity ("some grid points may have many neighbours,
+// while others have very few") equal-atom-count distributions leave some
+// processors with far more nonzeros — and therefore more multiply-adds per
+// matvec — than others.  These partitioners choose contiguous atom cut
+// points that balance the per-processor nonzero counts instead:
+//
+//   * greedy_nnz_cuts    — the fast heuristic: sweep atoms, start a new
+//     part when the running part reaches total/NP;
+//   * optimal_nnz_cuts   — exact contiguous bottleneck partition via
+//     parametric search (binary search on the bottleneck value, greedy
+//     feasibility check): minimizes max per-processor nnz.
+
+#include <cstddef>
+#include <vector>
+
+#include "hpfcg/ext/atom_partition.hpp"
+#include "hpfcg/hpf/distribution.hpp"
+
+namespace hpfcg::ext {
+
+/// Per-atom weights (nnz per row/column) from a compressed pointer array.
+std::vector<std::size_t> atom_weights(const std::vector<std::size_t>& ptr);
+
+/// Greedy contiguous partition of `weights` into np parts: close a part as
+/// soon as it reaches the ideal average.  Returns np+1 cut points over the
+/// atom index space.
+std::vector<std::size_t> greedy_nnz_cuts(const std::vector<std::size_t>& weights,
+                                         int np);
+
+/// Optimal contiguous bottleneck partition: cut points minimizing the
+/// maximum part weight (ties broken toward earlier cuts).  O(n log sum).
+std::vector<std::size_t> optimal_nnz_cuts(
+    const std::vector<std::size_t>& weights, int np);
+
+/// Maximum part weight under the given atom cut points.
+std::size_t bottleneck(const std::vector<std::size_t>& weights,
+                       const std::vector<std::size_t>& cuts);
+
+/// Which partitioner a REDISTRIBUTE ... USING clause names.
+enum class Partitioner {
+  kUniformAtomBlock,   ///< ATOM:BLOCK — equal atom counts (Section 5.2.1)
+  kBalancedGreedy,     ///< CG_BALANCED_PARTITIONER_1, heuristic
+  kBalancedOptimal,    ///< exact bottleneck-optimal contiguous partition
+};
+
+/// Build the (atom_dist, nnz_dist) pair a partitioner produces for the
+/// matrix described by the compressed pointer array `ptr`.
+AtomPartition partition(const std::vector<std::size_t>& ptr, int np,
+                        Partitioner which);
+
+/// Partitioner name for benchmark tables.
+const char* partitioner_name(Partitioner which);
+
+}  // namespace hpfcg::ext

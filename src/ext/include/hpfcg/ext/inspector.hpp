@@ -1,0 +1,180 @@
+#pragma once
+// Inspector/executor schedules for irregular array accesses.
+//
+// Section 5.1: "As the array q is accessed through a level of indirection,
+// the value of its index (i.e. row(k)) can be known only at run-time.
+// Inspector-executor mechanisms [15] which are costly in nature should be
+// employed for the determination of the owner" — and the paper cites
+// Ponnusamy/Saltz/Choudhary's *communication schedule reuse* as the
+// mitigation.  These classes implement exactly that machinery:
+//
+//   GatherSchedule      result(i) = x(idx(i))        (vector subscript read)
+//   ScatterAddSchedule  y(idx(i)) += x(i)            (many-to-one update)
+//
+// The *inspector* (constructor) exchanges the index lists once; every
+// *executor* run (execute()) then moves only values.  Reusing a schedule
+// across sweeps amortizes the inspector — the measured subject of
+// bench_inspector.
+
+#include <cstddef>
+#include <vector>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::ext {
+
+/// Schedule for result(i) = x(idx(i)): `idx` is distributed like `result`,
+/// x like `src_dist`.  Built collectively; reusable for any x/result with
+/// the same distributions and the same index values.
+template <class T>
+class GatherSchedule {
+ public:
+  GatherSchedule(msg::Process& proc,
+                 const hpf::DistributedVector<std::size_t>& idx,
+                 hpf::DistPtr src_dist)
+      : proc_(&proc), src_dist_(std::move(src_dist)),
+        result_dist_(idx.dist_ptr()) {
+    const int np = proc.nprocs();
+    const hpf::Distribution& sd = *src_dist_;
+
+    // Inspector: which global x-elements do my result elements need, and
+    // where do the fetched values land locally?
+    std::vector<std::vector<std::size_t>> requests(
+        static_cast<std::size_t>(np));
+    placement_.assign(static_cast<std::size_t>(np), {});
+    for (std::size_t l = 0; l < idx.local().size(); ++l) {
+      const std::size_t g = idx.local()[l];
+      HPFCG_REQUIRE(g < sd.size(), "gather: index out of range");
+      const auto owner = static_cast<std::size_t>(sd.owner(g));
+      requests[owner].push_back(g);
+      placement_[owner].push_back(l);
+    }
+    // One exchange of index lists — the inspector's cost.
+    const auto serve_globals = proc.alltoallv<std::size_t>(requests);
+    serve_.assign(static_cast<std::size_t>(np), {});
+    for (int r = 0; r < np; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      serve_[ur].reserve(serve_globals[ur].size());
+      for (const std::size_t g : serve_globals[ur]) {
+        serve_[ur].push_back(sd.local_index(g));
+      }
+    }
+  }
+
+  /// Executor: moves values only.  `x` must use the schedule's source
+  /// distribution, `result` the index vector's distribution.
+  void execute(const hpf::DistributedVector<T>& x,
+               hpf::DistributedVector<T>& result) const {
+    HPFCG_REQUIRE(x.dist() == *src_dist_,
+                  "gather: x distribution differs from the schedule");
+    HPFCG_REQUIRE(result.dist() == *result_dist_,
+                  "gather: result distribution differs from the schedule");
+    msg::Process& proc = *proc_;
+    const int np = proc.nprocs();
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
+    for (int r = 0; r < np; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      out[ur].reserve(serve_[ur].size());
+      for (const std::size_t l : serve_[ur]) out[ur].push_back(x.local()[l]);
+    }
+    const auto in = proc.alltoallv<T>(out);
+    for (int r = 0; r < np; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      HPFCG_REQUIRE(in[ur].size() == placement_[ur].size(),
+                    "gather: executor stream length mismatch");
+      for (std::size_t k = 0; k < in[ur].size(); ++k) {
+        result.local()[placement_[ur][k]] = in[ur][k];
+      }
+    }
+  }
+
+ private:
+  msg::Process* proc_;
+  hpf::DistPtr src_dist_;
+  hpf::DistPtr result_dist_;
+  /// placement_[r][k]: local result slot of the k-th value from rank r.
+  std::vector<std::vector<std::size_t>> placement_;
+  /// serve_[r][k]: local x index of the k-th value rank r asked us for.
+  std::vector<std::vector<std::size_t>> serve_;
+};
+
+/// Schedule for y(idx(i)) += x(i): the many-to-one accumulation of the
+/// paper's Scenario 2 inner loop, as a first-class schedule.  `idx` and
+/// `x` share a distribution; `y` uses `target_dist`.  Contributions to the
+/// same element (from any rank) sum.
+template <class T>
+class ScatterAddSchedule {
+ public:
+  ScatterAddSchedule(msg::Process& proc,
+                     const hpf::DistributedVector<std::size_t>& idx,
+                     hpf::DistPtr target_dist)
+      : proc_(&proc), src_dist_(idx.dist_ptr()),
+        target_dist_(std::move(target_dist)) {
+    const int np = proc.nprocs();
+    const hpf::Distribution& td = *target_dist_;
+
+    // Inspector: route each local contribution to its target's owner.
+    pick_.assign(static_cast<std::size_t>(np), {});
+    std::vector<std::vector<std::size_t>> targets(
+        static_cast<std::size_t>(np));
+    for (std::size_t l = 0; l < idx.local().size(); ++l) {
+      const std::size_t g = idx.local()[l];
+      HPFCG_REQUIRE(g < td.size(), "scatter_add: index out of range");
+      const auto owner = static_cast<std::size_t>(td.owner(g));
+      pick_[owner].push_back(l);
+      targets[owner].push_back(g);
+    }
+    const auto incoming = proc.alltoallv<std::size_t>(targets);
+    apply_.assign(static_cast<std::size_t>(np), {});
+    for (int r = 0; r < np; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      apply_[ur].reserve(incoming[ur].size());
+      for (const std::size_t g : incoming[ur]) {
+        apply_[ur].push_back(td.local_index(g));
+      }
+    }
+  }
+
+  /// Executor: y(idx(i)) += x(i) for every i, across all ranks.
+  void execute(const hpf::DistributedVector<T>& x,
+               hpf::DistributedVector<T>& y) const {
+    HPFCG_REQUIRE(x.dist() == *src_dist_,
+                  "scatter_add: x distribution differs from the schedule");
+    HPFCG_REQUIRE(y.dist() == *target_dist_,
+                  "scatter_add: y distribution differs from the schedule");
+    msg::Process& proc = *proc_;
+    const int np = proc.nprocs();
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
+    for (int r = 0; r < np; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      out[ur].reserve(pick_[ur].size());
+      for (const std::size_t l : pick_[ur]) out[ur].push_back(x.local()[l]);
+    }
+    const auto in = proc.alltoallv<T>(out);
+    std::size_t flops = 0;
+    for (int r = 0; r < np; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      HPFCG_REQUIRE(in[ur].size() == apply_[ur].size(),
+                    "scatter_add: executor stream length mismatch");
+      for (std::size_t k = 0; k < in[ur].size(); ++k) {
+        y.local()[apply_[ur][k]] += in[ur][k];
+      }
+      flops += in[ur].size();
+    }
+    proc.add_flops(flops);
+  }
+
+ private:
+  msg::Process* proc_;
+  hpf::DistPtr src_dist_;
+  hpf::DistPtr target_dist_;
+  /// pick_[r][k]: local x slot of the k-th contribution sent to rank r.
+  std::vector<std::vector<std::size_t>> pick_;
+  /// apply_[r][k]: local y slot receiving the k-th contribution from r.
+  std::vector<std::vector<std::size_t>> apply_;
+};
+
+}  // namespace hpfcg::ext

@@ -1,0 +1,90 @@
+#pragma once
+// The paper's PRIVATE abstraction (Section 5.1, Figure 5).
+//
+//   !EXT$ ITERATION j ON PROCESSOR(j/np), &
+//   !EXT$ PRIVATE(q(n)) WITH MERGE(+), &
+//   !EXT$ NEW(pj, k)
+//
+// A PrivateArray forks a full-length copy of an array on every processor at
+// private-region entry.  Unlike HPF's NEW (scoped to one loop iteration), a
+// private copy lives until the region ends, at which point it is either
+//   * merged into a single global copy with an element-wise reduction
+//     (WITH MERGE(+) — merge_into / merge_replicated), or
+//   * thrown away (WITH DISCARD — discard()).
+// The merge is one log-tree vector all-reduce: the same communication
+// volume as Scenario 1's broadcast, which is the paper's headline claim for
+// why this extension makes column-wise CG competitive.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::ext {
+
+/// How a private region ends.
+enum class PrivateEnd { kPending, kMerged, kDiscarded };
+
+/// Per-processor private full-length array with MERGE/DISCARD semantics.
+template <class T>
+class PrivateArray {
+ public:
+  /// Fork a private copy of length n on every rank, initialized to `init`
+  /// (the additive identity for MERGE(+)).
+  PrivateArray(msg::Process& proc, std::size_t n, T init = T{})
+      : proc_(&proc), data_(n, init) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::span<T> local() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> local() const {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] PrivateEnd ended() const { return ended_; }
+
+  /// WITH MERGE(op): combine all ranks' copies element-wise and write the
+  /// result into a distributed vector (each rank keeps its owned block).
+  template <class Op = std::plus<T>>
+  void merge_into(hpf::DistributedVector<T>& target, Op op = {}) {
+    HPFCG_REQUIRE(ended_ == PrivateEnd::kPending,
+                  "private region already ended");
+    HPFCG_REQUIRE(target.size() == data_.size(),
+                  "merge_into: length mismatch");
+    proc_->allreduce_vec(data_, op);
+    auto tl = target.local();
+    for (std::size_t l = 0; l < tl.size(); ++l) {
+      tl[l] = data_[target.global_of(l)];
+    }
+    ended_ = PrivateEnd::kMerged;
+  }
+
+  /// WITH MERGE(op), replicated result: every rank receives the full merged
+  /// array.
+  template <class Op = std::plus<T>>
+  std::vector<T> merge_replicated(Op op = {}) {
+    HPFCG_REQUIRE(ended_ == PrivateEnd::kPending,
+                  "private region already ended");
+    proc_->allreduce_vec(data_, op);
+    ended_ = PrivateEnd::kMerged;
+    return data_;
+  }
+
+  /// WITH DISCARD: end the region without any communication.
+  void discard() {
+    HPFCG_REQUIRE(ended_ == PrivateEnd::kPending,
+                  "private region already ended");
+    ended_ = PrivateEnd::kDiscarded;
+  }
+
+ private:
+  msg::Process* proc_;
+  std::vector<T> data_;
+  PrivateEnd ended_ = PrivateEnd::kPending;
+};
+
+}  // namespace hpfcg::ext

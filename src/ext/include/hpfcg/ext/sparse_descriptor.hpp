@@ -1,0 +1,90 @@
+#pragma once
+// The SPARSE_MATRIX descriptor extension (Section 5.2.2).
+//
+//   !HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)
+//
+// The descriptor tells the compiler (1) which storage scheme the trio uses
+// and (2) that the three arrays form one logical object.  Consequences the
+// paper derives, which this class implements:
+//   * tight binding — "whenever any one's distribution is changed, the
+//     other two should be aligned accordingly": redistribute_using()
+//     repartitions rows, nnz arrays and the aligned vectors together;
+//   * locality rule — accessing row i implies accessing its (col, a)
+//     entries, so fetched remote entries may be cached rather than
+//     re-communicated every sweep (caching enabled on the wrapped matrix);
+//   * partitioner hook — REDISTRIBUTE smA USING <partitioner>.
+
+#include <memory>
+#include <utility>
+
+#include "hpfcg/ext/balanced_partition.hpp"
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/redistribute.hpp"
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/sparse/csr.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+
+namespace hpfcg::ext {
+
+/// CSR sparse-matrix descriptor: owns the distributed matrix and the
+/// knowledge of how it is partitioned, and keeps the trio's distributions
+/// consistent across redistributions.
+template <class T>
+class SparseMatrixCsr {
+ public:
+  /// Declare the descriptor over a (replicated) assembled matrix, initially
+  /// partitioned by `initial` (default: uniform ATOM:BLOCK — the paper's
+  /// "initially distributed using HPF's regular distribution primitives").
+  SparseMatrixCsr(msg::Process& proc, sparse::Csr<T> matrix,
+                  Partitioner initial = Partitioner::kUniformAtomBlock)
+      : proc_(&proc), global_(std::move(matrix)) {
+    apply(initial);
+  }
+
+  [[nodiscard]] msg::Process& proc() const { return *proc_; }
+  [[nodiscard]] const sparse::Csr<T>& global() const { return global_; }
+  [[nodiscard]] sparse::DistCsr<T>& dist() { return *dist_; }
+  [[nodiscard]] const sparse::DistCsr<T>& dist() const { return *dist_; }
+  [[nodiscard]] const hpf::DistPtr& row_dist() const {
+    return part_.atom_dist;
+  }
+  [[nodiscard]] Partitioner active_partitioner() const { return active_; }
+
+  /// !EXT$ REDISTRIBUTE smA USING <which> — rebuild the trio's
+  /// distributions with the named partitioner.
+  void redistribute_using(Partitioner which) { apply(which); }
+
+  /// Redistribute an aligned vector to follow the descriptor's current row
+  /// distribution (the "arranging all dependent vectors" the paper
+  /// requires of the compiler).
+  [[nodiscard]] hpf::DistributedVector<T> align_vector(
+      const hpf::DistributedVector<T>& v) const {
+    return hpf::redistribute(v, part_.atom_dist);
+  }
+
+  /// Fresh zero vector aligned with the rows.
+  [[nodiscard]] hpf::DistributedVector<T> make_vector() const {
+    return hpf::DistributedVector<T>(*proc_, part_.atom_dist);
+  }
+
+ private:
+  void apply(Partitioner which) {
+    part_ = partition(global_.row_ptr(), proc_->nprocs(), which);
+    dist_ = std::make_unique<sparse::DistCsr<T>>(*proc_, global_,
+                                                 part_.atom_dist,
+                                                 part_.nnz_dist);
+    // The descriptor makes the trio's immutability known to the "compiler",
+    // so remote entries (none for atom partitions, some for exotic layouts)
+    // are fetched once and cached.
+    dist_->enable_caching();
+    active_ = which;
+  }
+
+  msg::Process* proc_;
+  sparse::Csr<T> global_;
+  AtomPartition part_;
+  std::unique_ptr<sparse::DistCsr<T>> dist_;
+  Partitioner active_ = Partitioner::kUniformAtomBlock;
+};
+
+}  // namespace hpfcg::ext

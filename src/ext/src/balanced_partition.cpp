@@ -1,0 +1,154 @@
+#include "hpfcg/ext/balanced_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::ext {
+
+std::vector<std::size_t> atom_weights(const std::vector<std::size_t>& ptr) {
+  HPFCG_REQUIRE(!ptr.empty(), "atom_weights: pointer array required");
+  std::vector<std::size_t> w(ptr.size() - 1);
+  for (std::size_t i = 0; i + 1 < ptr.size(); ++i) {
+    HPFCG_REQUIRE(ptr[i] <= ptr[i + 1],
+                  "atom_weights: pointer array must be nondecreasing");
+    w[i] = ptr[i + 1] - ptr[i];
+  }
+  return w;
+}
+
+std::vector<std::size_t> greedy_nnz_cuts(
+    const std::vector<std::size_t>& weights, int np) {
+  HPFCG_REQUIRE(np >= 1, "greedy_nnz_cuts: need at least one part");
+  const std::size_t n = weights.size();
+  const std::size_t total =
+      std::accumulate(weights.begin(), weights.end(), std::size_t{0});
+  std::vector<std::size_t> cuts;
+  cuts.reserve(static_cast<std::size_t>(np) + 1);
+  cuts.push_back(0);
+  std::size_t acc = 0;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n && static_cast<int>(cuts.size()) <= np - 1;
+       ++i) {
+    acc += weights[i];
+    // Ideal average over the REMAINING parts, so late imbalance cannot
+    // starve the last processor.
+    const int parts_left = np - static_cast<int>(cuts.size()) + 1;
+    const std::size_t target =
+        (total - assigned + static_cast<std::size_t>(parts_left) - 1) /
+        static_cast<std::size_t>(parts_left);
+    if (acc >= target) {
+      cuts.push_back(i + 1);
+      assigned += acc;
+      acc = 0;
+    }
+  }
+  while (static_cast<int>(cuts.size()) <= np) cuts.push_back(n);
+  return cuts;
+}
+
+namespace {
+
+/// Can `weights` be covered by at most np contiguous parts of weight <= cap?
+bool feasible(const std::vector<std::size_t>& weights, int np,
+              std::size_t cap) {
+  int parts = 1;
+  std::size_t acc = 0;
+  for (const std::size_t w : weights) {
+    if (w > cap) return false;
+    if (acc + w > cap) {
+      ++parts;
+      if (parts > np) return false;
+      acc = w;
+    } else {
+      acc += w;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::size_t> optimal_nnz_cuts(
+    const std::vector<std::size_t>& weights, int np) {
+  HPFCG_REQUIRE(np >= 1, "optimal_nnz_cuts: need at least one part");
+  const std::size_t n = weights.size();
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  for (const std::size_t w : weights) {
+    lo = std::max(lo, w);
+    hi += w;
+  }
+  // Smallest cap for which a <=np-part cover exists.
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible(weights, np, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::size_t cap = lo;
+
+  // Emit greedy cuts under the optimal cap.
+  std::vector<std::size_t> cuts;
+  cuts.reserve(static_cast<std::size_t>(np) + 1);
+  cuts.push_back(0);
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (acc + weights[i] > cap &&
+        static_cast<int>(cuts.size()) <= np - 1) {
+      cuts.push_back(i);
+      acc = 0;
+    }
+    acc += weights[i];
+  }
+  while (static_cast<int>(cuts.size()) <= np) cuts.push_back(n);
+  return cuts;
+}
+
+std::size_t bottleneck(const std::vector<std::size_t>& weights,
+                       const std::vector<std::size_t>& cuts) {
+  HPFCG_REQUIRE(cuts.size() >= 2 && cuts.front() == 0 &&
+                    cuts.back() == weights.size(),
+                "bottleneck: malformed cut points");
+  std::size_t worst = 0;
+  for (std::size_t r = 0; r + 1 < cuts.size(); ++r) {
+    std::size_t acc = 0;
+    for (std::size_t i = cuts[r]; i < cuts[r + 1]; ++i) acc += weights[i];
+    worst = std::max(worst, acc);
+  }
+  return worst;
+}
+
+AtomPartition partition(const std::vector<std::size_t>& ptr, int np,
+                        Partitioner which) {
+  if (which == Partitioner::kUniformAtomBlock) return atom_block(ptr, np);
+
+  const auto weights = atom_weights(ptr);
+  const auto atom_cuts = which == Partitioner::kBalancedGreedy
+                             ? greedy_nnz_cuts(weights, np)
+                             : optimal_nnz_cuts(weights, np);
+  AtomPartition part;
+  part.atom_dist = std::make_shared<const hpf::Distribution>(
+      hpf::Distribution::from_cuts(weights.size(), atom_cuts));
+  part.nnz_dist = std::make_shared<const hpf::Distribution>(
+      hpf::Distribution::from_cuts(ptr.back(),
+                                   nnz_cuts_from_atom_cuts(ptr, atom_cuts)));
+  return part;
+}
+
+const char* partitioner_name(Partitioner which) {
+  switch (which) {
+    case Partitioner::kUniformAtomBlock:
+      return "ATOM:BLOCK (uniform)";
+    case Partitioner::kBalancedGreedy:
+      return "CG_BALANCED_PARTITIONER_1 (greedy)";
+    case Partitioner::kBalancedOptimal:
+      return "bottleneck-optimal";
+  }
+  return "?";
+}
+
+}  // namespace hpfcg::ext

@@ -1,0 +1,50 @@
+#pragma once
+// General HPF alignment functions.
+//
+// The paper only needs identity alignment (`ALIGN (:) WITH p(:)`), but HPF
+// permits affine subscripts:
+//
+//   !HPF$ ALIGN x(i) WITH T(stride*i + offset)
+//
+// meaning element i of x lives wherever template element stride*i+offset
+// lives.  This header derives the induced distribution, so strided and
+// reversed arrays co-locate with the template elements they touch —
+// element-wise operations against the template's ownership remain
+// communication-free.
+
+#include <memory>
+#include <vector>
+
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::hpf {
+
+/// Distribution of an n-element array aligned with `tmpl` through the map
+/// i -> stride*i + offset.  Every mapped subscript must land inside the
+/// template.  stride may be negative (reversal alignment); zero is
+/// rejected (that would be replication, which DistributedVector does not
+/// model).
+inline Distribution align_affine(const Distribution& tmpl, std::size_t n,
+                                 long stride, long offset) {
+  HPFCG_REQUIRE(stride != 0, "align_affine: stride must be nonzero");
+  std::vector<int> owner(n);
+  const auto tn = static_cast<long>(tmpl.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const long t = stride * static_cast<long>(i) + offset;
+    HPFCG_REQUIRE(t >= 0 && t < tn,
+                  "align_affine: subscript " + std::to_string(t) +
+                      " falls outside the template");
+    owner[i] = tmpl.owner(static_cast<std::size_t>(t));
+  }
+  return Distribution::indirect(tmpl.nprocs(), std::move(owner));
+}
+
+/// Shared-handle convenience.
+inline DistPtr align_affine_ptr(const Distribution& tmpl, std::size_t n,
+                                long stride, long offset) {
+  return std::make_shared<const Distribution>(
+      align_affine(tmpl, n, stride, offset));
+}
+
+}  // namespace hpfcg::hpf

@@ -1,0 +1,121 @@
+#pragma once
+// Dense distributed matrices in the two layouts Section 4 analyses:
+//
+//   (BLOCK, *)  "row-wise partitioning"    !HPF$ ALIGN A(:, *) WITH p(:)
+//   (*, BLOCK)  "column-wise partitioning" !HPF$ ALIGN A(*, :) WITH p(:)
+//
+// Each rank stores its strip in full; the distribution of the aligned
+// dimension is shared with the vectors so ownership agrees (Figures 3/4).
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::hpf {
+
+/// n×n dense matrix, rows distributed, each local row stored full-width.
+template <class T>
+class DenseRowBlockMatrix {
+ public:
+  DenseRowBlockMatrix(msg::Process& proc, DistPtr row_dist)
+      : proc_(&proc), dist_(std::move(row_dist)) {
+    HPFCG_REQUIRE(dist_ != nullptr, "matrix needs a row distribution");
+    n_ = dist_->size();
+    local_.assign(dist_->local_count(proc.rank()) * n_, T{});
+  }
+
+  [[nodiscard]] msg::Process& proc() const { return *proc_; }
+  [[nodiscard]] const Distribution& dist() const { return *dist_; }
+  [[nodiscard]] const DistPtr& dist_ptr() const { return dist_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t local_rows() const {
+    return dist_->local_count(proc_->rank());
+  }
+
+  /// Full-width view of local row lr.
+  [[nodiscard]] std::span<T> row(std::size_t lr) {
+    HPFCG_REQUIRE(lr < local_rows(), "row: local row out of range");
+    return {local_.data() + lr * n_, n_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t lr) const {
+    HPFCG_REQUIRE(lr < local_rows(), "row: local row out of range");
+    return {local_.data() + lr * n_, n_};
+  }
+
+  /// Global row index of local row lr.
+  [[nodiscard]] std::size_t global_row(std::size_t lr) const {
+    return dist_->global_index(proc_->rank(), lr);
+  }
+
+  /// Fill owned rows from a function of (global_row, col).
+  void set_from(const std::function<T(std::size_t, std::size_t)>& f) {
+    for (std::size_t lr = 0; lr < local_rows(); ++lr) {
+      const std::size_t i = global_row(lr);
+      auto rr = row(lr);
+      for (std::size_t j = 0; j < n_; ++j) rr[j] = f(i, j);
+    }
+  }
+
+ private:
+  msg::Process* proc_;
+  DistPtr dist_;
+  std::size_t n_ = 0;
+  std::vector<T> local_;  // local_rows × n, row-major
+};
+
+/// n×n dense matrix, columns distributed, each local column stored in full.
+template <class T>
+class DenseColBlockMatrix {
+ public:
+  DenseColBlockMatrix(msg::Process& proc, DistPtr col_dist)
+      : proc_(&proc), dist_(std::move(col_dist)) {
+    HPFCG_REQUIRE(dist_ != nullptr, "matrix needs a column distribution");
+    n_ = dist_->size();
+    local_.assign(dist_->local_count(proc.rank()) * n_, T{});
+  }
+
+  [[nodiscard]] msg::Process& proc() const { return *proc_; }
+  [[nodiscard]] const Distribution& dist() const { return *dist_; }
+  [[nodiscard]] const DistPtr& dist_ptr() const { return dist_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t local_cols() const {
+    return dist_->local_count(proc_->rank());
+  }
+
+  /// Full-height view of local column lc (column-major storage).
+  [[nodiscard]] std::span<T> col(std::size_t lc) {
+    HPFCG_REQUIRE(lc < local_cols(), "col: local column out of range");
+    return {local_.data() + lc * n_, n_};
+  }
+  [[nodiscard]] std::span<const T> col(std::size_t lc) const {
+    HPFCG_REQUIRE(lc < local_cols(), "col: local column out of range");
+    return {local_.data() + lc * n_, n_};
+  }
+
+  [[nodiscard]] std::size_t global_col(std::size_t lc) const {
+    return dist_->global_index(proc_->rank(), lc);
+  }
+
+  /// Fill owned columns from a function of (row, global_col).
+  void set_from(const std::function<T(std::size_t, std::size_t)>& f) {
+    for (std::size_t lc = 0; lc < local_cols(); ++lc) {
+      const std::size_t j = global_col(lc);
+      auto cc = col(lc);
+      for (std::size_t i = 0; i < n_; ++i) cc[i] = f(i, j);
+    }
+  }
+
+ private:
+  msg::Process* proc_;
+  DistPtr dist_;
+  std::size_t n_ = 0;
+  std::vector<T> local_;  // local_cols × n, column-major
+};
+
+}  // namespace hpfcg::hpf

@@ -1,0 +1,25 @@
+#pragma once
+// Textual HPF distribution specs.
+//
+// Parses the distribution-format part of a DISTRIBUTE directive —
+//   "BLOCK", "BLOCK(k)", "CYCLIC", "CYCLIC(k)"
+// (case-insensitive, whitespace-tolerant) — into a Distribution, so
+// example programs and drivers can take the paper's directives verbatim
+// from the command line:  `quickstart --dist "CYCLIC(4)"`.
+
+#include <string>
+
+#include "hpfcg/hpf/distribution.hpp"
+
+namespace hpfcg::hpf {
+
+/// Parse an HPF distribution format spec over n elements and np
+/// processors.  Throws util::Error with a pointed message on anything the
+/// grammar does not accept.
+Distribution parse_distribution_spec(const std::string& spec, std::size_t n,
+                                     int np);
+
+/// True if `spec` parses (for validating CLI input without committing).
+bool is_valid_distribution_spec(const std::string& spec);
+
+}  // namespace hpfcg::hpf

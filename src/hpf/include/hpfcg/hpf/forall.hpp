@@ -1,0 +1,48 @@
+#pragma once
+// FORALL / INDEPENDENT-DO loop helpers.
+//
+// HPF's FORALL with owner-computes placement lowers to "each rank iterates
+// over the indices it owns".  These helpers express that directly: the body
+// receives (global_index, local_index) for every locally-owned iteration.
+
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/msg/process.hpp"
+
+namespace hpfcg::hpf {
+
+/// Owner-computes FORALL over [0, dist.size()): each rank runs the body for
+/// the iterations it owns.  Iterations must be independent (FORALL
+/// semantics); nothing is synchronized.
+template <class Body>
+void forall(msg::Process& proc, const Distribution& dist, Body&& body) {
+  const int r = proc.rank();
+  const std::size_t cnt = dist.local_count(r);
+  for (std::size_t l = 0; l < cnt; ++l) {
+    body(dist.global_index(r, l), l);
+  }
+}
+
+/// INDEPENDENT DO — semantically identical lowering; provided so call sites
+/// can mirror which HPF construct the paper's code fragments use.
+template <class Body>
+void independent_do(msg::Process& proc, const Distribution& dist,
+                    Body&& body) {
+  forall(proc, dist, std::forward<Body>(body));
+}
+
+/// FORALL with a local reduction: returns op-fold of body results over the
+/// owned iterations (no merge — combine with Process::allreduce if a global
+/// value is needed).
+template <class T, class Body, class Op>
+T forall_reduce(msg::Process& proc, const Distribution& dist, T init,
+                Body&& body, Op&& op) {
+  const int r = proc.rank();
+  const std::size_t cnt = dist.local_count(r);
+  T acc = init;
+  for (std::size_t l = 0; l < cnt; ++l) {
+    acc = op(acc, body(dist.global_index(r, l), l));
+  }
+  return acc;
+}
+
+}  // namespace hpfcg::hpf

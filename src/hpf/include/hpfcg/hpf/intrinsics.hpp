@@ -1,0 +1,173 @@
+#pragma once
+// HPF intrinsics and array operations over distributed vectors.
+//
+// These are the operations Figure 2 of the paper is built from:
+//   DOT_PRODUCT(r, r)      -> dot_product()        (local mult + merge)
+//   p = beta * p + r       -> aypx()               (communication-free)
+//   x = x + alpha * p      -> axpy()               (communication-free)
+//   SUM(...)               -> sum()
+//   MAXVAL(ABS(...))       -> max_abs()
+//
+// Element-wise operations require their operands to be mutually aligned —
+// enforced, because in HPF misaligned operands silently generate
+// communication; here the library makes the requirement explicit.
+
+#include <cmath>
+#include <limits>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/util/span_math.hpp"
+
+namespace hpfcg::hpf {
+
+namespace detail {
+template <class T>
+void require_aligned(const DistributedVector<T>& a,
+                     const DistributedVector<T>& b, const char* op) {
+  HPFCG_REQUIRE(is_aligned(a, b),
+                std::string(op) + ": operands must be aligned");
+}
+}  // namespace detail
+
+/// DOT_PRODUCT intrinsic: local element-wise products (no communication)
+/// followed by the log-tree merge (allreduce).  Cost per the paper:
+/// O(n/N_P) compute + t_startup*log(N_P) merge.
+template <class T>
+T dot_product(const DistributedVector<T>& x, const DistributedVector<T>& y) {
+  detail::require_aligned(x, y, "dot_product");
+  const T local = util::dot_local<T>(x.local(), y.local());
+  x.proc().add_flops(2 * x.local().size());
+  return x.proc().allreduce(local);
+}
+
+/// SUM intrinsic over a distributed vector.
+template <class T>
+T sum(const DistributedVector<T>& x) {
+  T local{};
+  for (const auto& v : x.local()) local += v;
+  x.proc().add_flops(x.local().size());
+  return x.proc().allreduce(local);
+}
+
+/// Two-norm via dot_product.
+template <class T>
+T norm2(const DistributedVector<T>& x) {
+  return std::sqrt(dot_product(x, x));
+}
+
+/// MAXVAL(ABS(x)).
+template <class T>
+T max_abs(const DistributedVector<T>& x) {
+  const T local = util::max_abs_local<T>(x.local());
+  return x.proc().allreduce(local, [](T a, T b) { return a > b ? a : b; });
+}
+
+/// MAXVAL intrinsic.  Empty local shards contribute the lowest value.
+template <class T>
+T maxval(const DistributedVector<T>& x) {
+  T local = std::numeric_limits<T>::lowest();
+  for (const auto& v : x.local()) local = v > local ? v : local;
+  return x.proc().allreduce(local, [](T a, T b) { return a > b ? a : b; });
+}
+
+/// MINVAL intrinsic.
+template <class T>
+T minval(const DistributedVector<T>& x) {
+  T local = std::numeric_limits<T>::max();
+  for (const auto& v : x.local()) local = v < local ? v : local;
+  return x.proc().allreduce(local, [](T a, T b) { return a < b ? a : b; });
+}
+
+/// Value-and-location pair for MAXLOC/MINLOC.
+template <class T>
+struct ValueLoc {
+  T value;
+  std::size_t index;  ///< global index
+};
+
+/// MAXLOC intrinsic: the maximum value and its (lowest) global index.
+/// x must be non-empty.
+template <class T>
+ValueLoc<T> maxloc(const DistributedVector<T>& x) {
+  HPFCG_REQUIRE(x.size() > 0, "maxloc: empty array");
+  ValueLoc<T> local{std::numeric_limits<T>::lowest(), x.size()};
+  for (std::size_t l = 0; l < x.local().size(); ++l) {
+    const T v = x.local()[l];
+    const std::size_t g = x.global_of(l);
+    if (v > local.value || (v == local.value && g < local.index)) {
+      local = {v, g};
+    }
+  }
+  return x.proc().allreduce(
+      local, [](const ValueLoc<T>& a, const ValueLoc<T>& b) {
+        if (a.value != b.value) return a.value > b.value ? a : b;
+        return a.index <= b.index ? a : b;  // lowest index ties, HPF-style
+      });
+}
+
+/// MINLOC intrinsic.
+template <class T>
+ValueLoc<T> minloc(const DistributedVector<T>& x) {
+  HPFCG_REQUIRE(x.size() > 0, "minloc: empty array");
+  ValueLoc<T> local{std::numeric_limits<T>::max(), x.size()};
+  for (std::size_t l = 0; l < x.local().size(); ++l) {
+    const T v = x.local()[l];
+    const std::size_t g = x.global_of(l);
+    if (v < local.value || (v == local.value && g < local.index)) {
+      local = {v, g};
+    }
+  }
+  return x.proc().allreduce(
+      local, [](const ValueLoc<T>& a, const ValueLoc<T>& b) {
+        if (a.value != b.value) return a.value < b.value ? a : b;
+        return a.index <= b.index ? a : b;
+      });
+}
+
+/// y = y + alpha*x — the SAXPY of Section 2, O(n/N_P), communication-free.
+template <class T>
+void axpy(T alpha, const DistributedVector<T>& x, DistributedVector<T>& y) {
+  detail::require_aligned(x, y, "axpy");
+  y.proc().add_flops(util::axpy<T>(alpha, x.local(), y.local()));
+}
+
+/// y = alpha*y + x — the SAYPX used for p = beta*p + r.
+template <class T>
+void aypx(T alpha, const DistributedVector<T>& x, DistributedVector<T>& y) {
+  detail::require_aligned(x, y, "aypx");
+  y.proc().add_flops(util::aypx<T>(alpha, x.local(), y.local()));
+}
+
+/// x = alpha * x.
+template <class T>
+void scale(T alpha, DistributedVector<T>& x) {
+  x.proc().add_flops(util::scale<T>(alpha, x.local()));
+}
+
+/// dst = src (parallel array assignment).
+template <class T>
+void assign(const DistributedVector<T>& src, DistributedVector<T>& dst) {
+  detail::require_aligned(src, dst, "assign");
+  util::copy<T>(src.local(), dst.local());
+}
+
+/// x = value everywhere.
+template <class T>
+void fill(DistributedVector<T>& x, T value) {
+  util::fill<T>(x.local(), value);
+}
+
+/// z = x * y element-wise (all three aligned).
+template <class T>
+void hadamard(const DistributedVector<T>& x, const DistributedVector<T>& y,
+              DistributedVector<T>& z) {
+  detail::require_aligned(x, y, "hadamard");
+  detail::require_aligned(x, z, "hadamard");
+  auto xs = x.local();
+  auto ys = y.local();
+  auto zs = z.local();
+  for (std::size_t i = 0; i < xs.size(); ++i) zs[i] = xs[i] * ys[i];
+  z.proc().add_flops(xs.size());
+}
+
+}  // namespace hpfcg::hpf

@@ -1,0 +1,136 @@
+#pragma once
+// Dense matrix-vector products for the two partitioning scenarios of
+// Section 4.  All variants compute q = A*p and leave q distributed exactly
+// like p (the paper's alignment target).
+//
+// Scenario 1 (row-wise, Figure 3): every rank needs all of p — one
+// all-to-all broadcast — then the local rows produce the locally-owned
+// block of q with no rearrangement.  Cost: allgather + 2*n*n/N_P flops.
+//
+// Scenario 2 (column-wise, Figure 4): the element-wise multiply is local,
+// but the accumulation q(i) += ... targets elements owned by other ranks —
+// a many-to-one, order-dependent update.  HPF-1 offers two expressions:
+//   * the faithful serial loop (matvec_colwise_serial) — inter-processor
+//     dependencies force rank-ordered execution; the cost model books the
+//     serialization as wait time;
+//   * a full-length temporary per processor merged with the SUM intrinsic
+//     (matvec_colwise_sum) — parallel again, at the price of n-length
+//     temporaries; the paper calls this "somewhat unsatisfactory" and
+//     proposes the PRIVATE/MERGE extension (see ext/private_array.hpp,
+//     which shares this communication structure but manages storage).
+
+#include <vector>
+
+#include "hpfcg/hpf/dense_matrix.hpp"
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/util/error.hpp"
+#include "hpfcg/util/span_math.hpp"
+
+namespace hpfcg::hpf {
+
+/// Scenario 1: A distributed (BLOCK, *), vectors (BLOCK).
+template <class T>
+void matvec_rowwise(const DenseRowBlockMatrix<T>& a,
+                    const DistributedVector<T>& p, DistributedVector<T>& q) {
+  HPFCG_REQUIRE(a.n() == p.size() && a.n() == q.size(),
+                "matvec: dimension mismatch");
+  HPFCG_REQUIRE(a.dist() == p.dist() && a.dist() == q.dist(),
+                "matvec_rowwise: A rows and vectors must be aligned");
+  // The all-to-all broadcast of the local vector elements (paper, Sec. 4).
+  const std::vector<T> full_p = p.to_global();
+  msg::Process& proc = p.proc();
+  auto ql = q.local();
+  for (std::size_t lr = 0; lr < a.local_rows(); ++lr) {
+    ql[lr] = util::dot_local<T>(a.row(lr),
+                                std::span<const T>(full_p.data(), a.n()));
+  }
+  proc.add_flops(2 * a.local_rows() * a.n());
+}
+
+/// Scenario 2, faithful serial semantics: ranks execute their column sweeps
+/// in rank order (token chain), shipping every cross-owner accumulation to
+/// its owner, which applies updates before the next rank proceeds.
+template <class T>
+void matvec_colwise_serial(const DenseColBlockMatrix<T>& a,
+                           const DistributedVector<T>& p,
+                           DistributedVector<T>& q) {
+  HPFCG_REQUIRE(a.n() == p.size() && a.n() == q.size(),
+                "matvec: dimension mismatch");
+  HPFCG_REQUIRE(a.dist() == p.dist() && a.dist() == q.dist(),
+                "matvec_colwise: A columns and vectors must be aligned");
+  msg::Process& proc = p.proc();
+  const int np = proc.nprocs();
+  const int me = proc.rank();
+  const std::size_t n = a.n();
+  const int tag = 0x1000;
+
+  util::fill<T>(q.local(), T{});
+  // Partial sums this rank produces for every global q element.
+  std::vector<T> partial(n, T{});
+
+  proc.sequential([&] {
+    for (std::size_t lc = 0; lc < a.local_cols(); ++lc) {
+      const T pj = p.local()[lc];
+      auto cc = a.col(lc);
+      for (std::size_t i = 0; i < n; ++i) partial[i] += cc[i] * pj;
+    }
+    proc.add_flops(2 * a.local_cols() * n);
+    // Ship each owner its slice of the partial sums (the many-to-one
+    // assignments of the paper's inner loop, batched per destination).
+    for (int r = 0; r < np; ++r) {
+      if (r == me) continue;
+      std::vector<T> chunk(q.dist().local_count(r));
+      for (std::size_t l = 0; l < chunk.size(); ++l) {
+        chunk[l] = partial[q.dist().global_index(r, l)];
+      }
+      proc.send<T>(r, tag, std::span<const T>(chunk.data(), chunk.size()));
+    }
+    // Apply own contributions.
+    auto ql = q.local();
+    for (std::size_t l = 0; l < ql.size(); ++l) {
+      ql[l] += partial[q.global_of(l)];
+    }
+    proc.add_flops(ql.size());
+  });
+
+  // Apply the other ranks' contributions (owner side of the dependency).
+  auto ql = q.local();
+  for (int r = 0; r < np; ++r) {
+    if (r == me) continue;
+    std::vector<T> chunk(ql.size());
+    proc.recv_into<T>(r, tag, std::span<T>(chunk.data(), chunk.size()));
+    for (std::size_t l = 0; l < ql.size(); ++l) ql[l] += chunk[l];
+    proc.add_flops(ql.size());
+  }
+}
+
+/// Scenario 2 with the HPF-1 workaround the paper describes: a full-length
+/// temporary on every rank ("two dimensional temporary local vectors in
+/// place of vector q"), merged at the end with the SUM intrinsic — fully
+/// parallel, same communication volume as Scenario 1's broadcast.
+template <class T>
+void matvec_colwise_sum(const DenseColBlockMatrix<T>& a,
+                        const DistributedVector<T>& p,
+                        DistributedVector<T>& q) {
+  HPFCG_REQUIRE(a.n() == p.size() && a.n() == q.size(),
+                "matvec: dimension mismatch");
+  HPFCG_REQUIRE(a.dist() == p.dist() && a.dist() == q.dist(),
+                "matvec_colwise: A columns and vectors must be aligned");
+  msg::Process& proc = p.proc();
+  const std::size_t n = a.n();
+
+  std::vector<T> temp(n, T{});
+  for (std::size_t lc = 0; lc < a.local_cols(); ++lc) {
+    const T pj = p.local()[lc];
+    auto cc = a.col(lc);
+    for (std::size_t i = 0; i < n; ++i) temp[i] += cc[i] * pj;
+  }
+  proc.add_flops(2 * a.local_cols() * n);
+
+  // SUM merge across processors (log-tree), then keep the owned block.
+  proc.allreduce_vec(temp);
+  auto ql = q.local();
+  for (std::size_t l = 0; l < ql.size(); ++l) ql[l] = temp[q.global_of(l)];
+}
+
+}  // namespace hpfcg::hpf

@@ -1,0 +1,37 @@
+#pragma once
+// Processor arrangements — the `!HPF$ PROCESSORS :: PROCS(NP)` directive.
+//
+// The paper only uses 1-D arrangements; this thin type records the declared
+// shape and validates it against the running machine, so example code can
+// mirror the HPF source one-to-one.
+
+#include <string>
+
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::hpf {
+
+/// A named 1-D processor arrangement.
+class ProcessorArrangement {
+ public:
+  ProcessorArrangement(msg::Process& proc, std::string name)
+      : name_(std::move(name)), np_(proc.nprocs()) {}
+
+  ProcessorArrangement(msg::Process& proc, std::string name, int declared_np)
+      : name_(std::move(name)), np_(declared_np) {
+    HPFCG_REQUIRE(declared_np == proc.nprocs(),
+                  "PROCESSORS " + name_ + "(" + std::to_string(declared_np) +
+                      ") does not match the machine size " +
+                      std::to_string(proc.nprocs()));
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int size() const { return np_; }
+
+ private:
+  std::string name_;
+  int np_;
+};
+
+}  // namespace hpfcg::hpf

@@ -1,0 +1,73 @@
+#include "hpfcg/hpf/directives.hpp"
+
+#include "hpfcg/util/error.hpp"
+#include "hpfcg/util/str.hpp"
+
+namespace hpfcg::hpf {
+
+namespace {
+
+/// Split "NAME(arg)" into name and optional positive integer arg.
+struct Spec {
+  std::string name;
+  bool has_arg = false;
+  std::size_t arg = 0;
+};
+
+Spec parse_spec(const std::string& raw) {
+  const std::string s = util::trim(raw);
+  HPFCG_REQUIRE(!s.empty(), "distribution spec is empty");
+  Spec out;
+  const auto open = s.find('(');
+  if (open == std::string::npos) {
+    out.name = util::to_lower(util::trim(s));
+    return out;
+  }
+  HPFCG_REQUIRE(s.back() == ')',
+                "distribution spec '" + raw + "' is missing ')'");
+  out.name = util::to_lower(util::trim(s.substr(0, open)));
+  const std::string arg_text =
+      util::trim(s.substr(open + 1, s.size() - open - 2));
+  HPFCG_REQUIRE(!arg_text.empty(),
+                "distribution spec '" + raw + "' has an empty argument");
+  for (const char c : arg_text) {
+    HPFCG_REQUIRE(c >= '0' && c <= '9',
+                  "distribution spec '" + raw +
+                      "' needs a positive integer argument");
+  }
+  out.has_arg = true;
+  out.arg = static_cast<std::size_t>(std::stoull(arg_text));
+  HPFCG_REQUIRE(out.arg >= 1, "distribution spec '" + raw +
+                                  "' needs a positive block size");
+  return out;
+}
+
+}  // namespace
+
+Distribution parse_distribution_spec(const std::string& spec, std::size_t n,
+                                     int np) {
+  const Spec s = parse_spec(spec);
+  if (s.name == "block") {
+    return s.has_arg ? Distribution::block_size(n, np, s.arg)
+                     : Distribution::block(n, np);
+  }
+  if (s.name == "cyclic") {
+    return s.has_arg ? Distribution::cyclic_size(n, np, s.arg)
+                     : Distribution::cyclic(n, np);
+  }
+  throw util::Error("unknown distribution format '" + spec +
+                    "' (expected BLOCK, BLOCK(k), CYCLIC or CYCLIC(k))");
+}
+
+bool is_valid_distribution_spec(const std::string& spec) {
+  try {
+    // Parse against a throwaway shape; BLOCK(k) feasibility depends on
+    // (n, np), so validate the grammar only.
+    const Spec s = parse_spec(spec);
+    return s.name == "block" || s.name == "cyclic";
+  } catch (const util::Error&) {
+    return false;
+  }
+}
+
+}  // namespace hpfcg::hpf

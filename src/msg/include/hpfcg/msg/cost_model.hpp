@@ -1,0 +1,101 @@
+#pragma once
+// Communication cost model.
+//
+// The paper's evaluation (Sections 4-5) is analytical: it expresses the cost
+// of each CG building block in terms of a message start-up latency
+// `t_startup`, a per-byte transfer time `t_comm`, the processor count N_P
+// and the vector length n — e.g. the all-to-all broadcast of n/N_P-element
+// vectors on a hypercube costs `t_startup * log N_P + t_comm * n/N_P` per
+// step.  We reproduce those numbers by modelling each message the runtime
+// actually sends: cost = t_startup + hops * t_hop + bytes * t_comm, where
+// `hops` depends on the interconnect topology.  Flops are modelled at
+// `t_flop` each so compute/communication ratios are visible.
+//
+// Defaults are representative of 1995-era message-passing machines (the
+// paper's context): start-up latency dominates per-byte cost by ~3 orders
+// of magnitude, and a flop is ~4 orders cheaper than a start-up.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hpfcg::msg {
+
+/// Machine parameters of the analytical model (seconds).
+struct CostParams {
+  double t_startup = 50e-6;  ///< per-message start-up latency (t_s)
+  double t_comm = 10e-9;     ///< per-byte transfer time (t_c)
+  double t_hop = 0.5e-6;     ///< per-hop routing delay (cut-through)
+  double t_flop = 5e-9;      ///< time per floating-point operation
+};
+
+/// Interconnect shapes the model can account hops for.
+enum class Topology {
+  kHypercube,       ///< hops = popcount(src ^ dst)
+  kRing,            ///< hops = min cyclic distance
+  kMesh2D,          ///< hops = Manhattan distance on a near-square grid
+  kFullyConnected,  ///< hops = 1 (crossbar / idealized network)
+};
+
+/// Human-readable topology name for benchmark tables.
+std::string topology_name(Topology t);
+
+/// Pure cost calculator: answers "what does this message / collective cost"
+/// under the configured parameters and topology.  Stateless apart from the
+/// configuration so it can be shared by all processes.
+class CostModel {
+ public:
+  CostModel() = default;
+  CostModel(CostParams params, Topology topo, int nprocs);
+
+  [[nodiscard]] const CostParams& params() const { return params_; }
+  [[nodiscard]] Topology topology() const { return topo_; }
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+
+  /// Network hops between two ranks under the active topology.
+  [[nodiscard]] int hops(int src, int dst) const;
+
+  /// Modeled time for one point-to-point message of `bytes` payload.
+  [[nodiscard]] double message_time(int src, int dst,
+                                    std::size_t bytes) const;
+
+  /// Modeled time for `flops` floating-point operations.
+  [[nodiscard]] double compute_time(std::uint64_t flops) const {
+    return static_cast<double>(flops) * params_.t_flop;
+  }
+
+  // ---- Closed-form collective estimates (the paper's formulas) ----------
+  // These are *predictions* used to validate the instrumented runtime: the
+  // benches print model-vs-measured so the reproduction of the paper's
+  // cost analysis is explicit.
+
+  /// Binomial-tree broadcast of `bytes` to all ranks:
+  ///   ceil(log2 P) * (t_s + bytes * t_c)  (+ hop terms folded into t_s).
+  [[nodiscard]] double broadcast_time(std::size_t bytes) const;
+
+  /// Reduction of `bytes` to one rank (same tree as broadcast).
+  [[nodiscard]] double reduce_time(std::size_t bytes) const;
+
+  /// All-reduce = reduce + broadcast.
+  [[nodiscard]] double allreduce_time(std::size_t bytes) const;
+
+  /// Ring all-gather where every rank contributes `bytes_per_rank`:
+  ///   (P-1) * (t_s + bytes_per_rank * t_c)
+  /// This is the paper's "all-to-all broadcast of the local vector
+  /// elements"; on a hypercube the start-up term drops to t_s * log P with
+  /// recursive doubling, which the model reports for that topology.
+  [[nodiscard]] double allgather_time(std::size_t bytes_per_rank) const;
+
+  /// Barrier modeled as a zero-byte all-reduce.
+  [[nodiscard]] double barrier_time() const;
+
+ private:
+  [[nodiscard]] int log2_ceil_procs() const;
+
+  CostParams params_{};
+  Topology topo_ = Topology::kHypercube;
+  int nprocs_ = 1;
+  int mesh_cols_ = 1;  // derived for kMesh2D
+};
+
+}  // namespace hpfcg::msg

@@ -1,0 +1,61 @@
+#pragma once
+// Per-process incoming message queue.
+//
+// The "network" of the simulated machine: a send deposits a message into the
+// destination's mailbox (buffered, non-blocking, like an eager-protocol MPI
+// send); a receive blocks until a matching (source, tag) message arrives.
+// Matching is FIFO per (source, tag) pair, mirroring MPI's non-overtaking
+// guarantee.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace hpfcg::msg {
+
+/// Wildcard source for receive matching (MPI_ANY_SOURCE analogue).
+inline constexpr int kAnySource = -1;
+
+/// One in-flight message.
+struct Envelope {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe mailbox with (src, tag) matching and abort support.
+///
+/// Abort exists so that an exception on one simulated processor does not
+/// deadlock the others: the runtime poisons every mailbox and any blocked
+/// receive throws.
+class Mailbox {
+ public:
+  /// Deposit a message (called by the sending thread).
+  void deposit(Envelope env);
+
+  /// Block until a message matching (src-or-any, tag) is available and
+  /// return it.  Throws util::Error if the runtime aborted.
+  Envelope receive(int src, int tag);
+
+  /// Non-blocking variant: returns true and fills `out` if a match exists.
+  bool try_receive(int src, int tag, Envelope& out);
+
+  /// Number of queued messages (for tests / diagnostics).
+  std::size_t pending() const;
+
+  /// Poison the mailbox: wake all waiters, make every receive throw.
+  void abort();
+
+ private:
+  bool match_locked(int src, int tag, Envelope& out);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace hpfcg::msg

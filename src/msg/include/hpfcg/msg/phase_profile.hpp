@@ -1,0 +1,81 @@
+#pragma once
+// Per-phase cost attribution.
+//
+// Attributes a rank's Stats deltas to named phases ("broadcast", "local
+// matvec", "dot merge", ...), so benchmarks can print the per-iteration
+// decomposition the paper describes qualitatively ("a single matrix-vector
+// multiplication, two inner products, and several SAXPY operations").
+
+#include <map>
+#include <string>
+
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/msg/stats.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::msg {
+
+/// Accumulates Stats deltas per phase name for one rank.  Use enter() to
+/// switch phases; deltas between switches accrue to the active phase.
+class PhaseProfile {
+ public:
+  explicit PhaseProfile(Process& proc)
+      : proc_(&proc), mark_(proc.stats()) {}
+
+  /// Close the active phase (if any) and open `name`.
+  void enter(const std::string& name) {
+    flush();
+    active_ = name;
+  }
+
+  /// Close the active phase.
+  void exit() {
+    flush();
+    active_.clear();
+  }
+
+  /// Accumulated deltas per phase (valid after exit()/enter()).
+  [[nodiscard]] const std::map<std::string, Stats>& phases() const {
+    return phases_;
+  }
+
+  /// Stats accrued to one phase (zeros if never entered).
+  [[nodiscard]] Stats of(const std::string& name) const {
+    const auto it = phases_.find(name);
+    return it == phases_.end() ? Stats{} : it->second;
+  }
+
+ private:
+  static Stats delta(const Stats& now, const Stats& then) {
+    Stats d;
+    d.messages_sent = now.messages_sent - then.messages_sent;
+    d.messages_received = now.messages_received - then.messages_received;
+    d.bytes_sent = now.bytes_sent - then.bytes_sent;
+    d.bytes_received = now.bytes_received - then.bytes_received;
+    d.flops = now.flops - then.flops;
+    d.barriers = now.barriers - then.barriers;
+    d.collectives = now.collectives - then.collectives;
+    d.modeled_comm_seconds =
+        now.modeled_comm_seconds - then.modeled_comm_seconds;
+    d.modeled_compute_seconds =
+        now.modeled_compute_seconds - then.modeled_compute_seconds;
+    d.modeled_wait_seconds =
+        now.modeled_wait_seconds - then.modeled_wait_seconds;
+    return d;
+  }
+
+  void flush() {
+    const Stats now = proc_->stats();
+    if (!active_.empty()) {
+      phases_[active_] += delta(now, mark_);
+    }
+    mark_ = now;
+  }
+
+  Process* proc_;
+  Stats mark_;
+  std::string active_;
+  std::map<std::string, Stats> phases_;
+};
+
+}  // namespace hpfcg::msg

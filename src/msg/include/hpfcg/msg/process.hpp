@@ -1,0 +1,497 @@
+#pragma once
+// Per-processor communication context: point-to-point messaging and the
+// collective operations the HPF layer is lowered to.
+//
+// Semantics follow the message-passing SPMD model the paper contrasts HPF
+// against: sends are buffered (eager) and never block; receives block until
+// a matching message arrives; collectives must be called by all ranks in
+// the same order (standard SPMD discipline).
+//
+// Modeled-time accounting (see cost_model.hpp): a sender pays the start-up
+// latency `t_startup`; the receiver pays the routing and transfer time
+// `hops * t_hop + bytes * t_comm`.  Summed over a balanced exchange this
+// reproduces the paper's per-step cost `t_startup + t_comm * m`, and the
+// per-rank maximum approximates the machine's critical path.
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "hpfcg/msg/runtime.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::msg {
+
+/// Handle to one simulated processor inside Runtime::run().
+class Process {
+ public:
+  Process(Runtime& rt, int rank) : rt_(rt), rank_(rank) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const { return rt_.nprocs(); }
+  [[nodiscard]] const CostModel& cost() const { return rt_.cost(); }
+  [[nodiscard]] Runtime& runtime() { return rt_; }
+  [[nodiscard]] Stats& stats() { return rt_.stats_mutable(rank_); }
+
+  /// Record `n` local floating-point operations in the cost model.
+  void add_flops(std::uint64_t n) {
+    auto& s = stats();
+    s.flops += n;
+    s.modeled_compute_seconds += cost().compute_time(n);
+  }
+
+  // ---- point-to-point --------------------------------------------------
+
+  /// Buffered send of a trivially-copyable element range.
+  template <class T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+
+  template <class T>
+  void send_value(int dst, int tag, const T& v) {
+    send(dst, tag, std::span<const T>(&v, 1));
+  }
+
+  /// Blocking receive into a caller-sized buffer; the message length must
+  /// match exactly (HPF lowerings always know their shapes).
+  template <class T>
+  void recv_into(int src, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Envelope env = recv_bytes(src, tag);
+    HPFCG_REQUIRE(env.payload.size() == out.size_bytes(),
+                  "recv: message length mismatch");
+    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+  }
+
+  /// Blocking receive of a whole message as a vector.
+  template <class T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Envelope env = recv_bytes(src, tag);
+    HPFCG_REQUIRE(env.payload.size() % sizeof(T) == 0,
+                  "recv: message is not a whole number of elements");
+    std::vector<T> out(env.payload.size() / sizeof(T));
+    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    return out;
+  }
+
+  /// Receive from any source; `src_out` reports the actual sender.
+  template <class T>
+  std::vector<T> recv_any(int tag, int& src_out) {
+    Envelope env = recv_bytes(kAnySource, tag, &src_out);
+    HPFCG_REQUIRE(env.payload.size() % sizeof(T) == 0,
+                  "recv_any: message is not a whole number of elements");
+    std::vector<T> out(env.payload.size() / sizeof(T));
+    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    return out;
+  }
+
+  template <class T>
+  T recv_value(int src, int tag) {
+    T v{};
+    recv_into(src, tag, std::span<T>(&v, 1));
+    return v;
+  }
+
+  // ---- collectives -----------------------------------------------------
+  // All ranks must call each collective in the same program order.
+
+  /// Synchronize all processors.
+  void barrier() {
+    auto& s = stats();
+    ++s.barriers;
+    s.modeled_comm_seconds += cost().barrier_time();
+    rt_.barrier_wait();
+  }
+
+  /// Binomial-tree broadcast: `buf` is input on `root`, output elsewhere.
+  template <class T>
+  void broadcast(int root, std::vector<T>& buf) {
+    const int p = nprocs();
+    const int seq = next_collective();
+    if (p == 1) return;
+    std::size_t len = buf.size();
+    // Length travels in the same tree pass as a tiny header message.
+    const int vr = rel_rank(root);
+    int mask = 1;
+    while (mask < p) {
+      if (vr & mask) {
+        const int src = abs_rank(vr - mask, root);
+        len = recv_value<std::size_t>(src, coll_tag(seq, 0));
+        buf.resize(len);
+        recv_into<T>(src, coll_tag(seq, 1), buf);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vr + mask < p) {
+        const int dst = abs_rank(vr + mask, root);
+        send_value<std::size_t>(dst, coll_tag(seq, 0), len);
+        send<T>(dst, coll_tag(seq, 1), buf);
+      }
+      mask >>= 1;
+    }
+  }
+
+  /// Binomial-tree broadcast of a fixed-size buffer (size known on every
+  /// rank, so no length header travels — one message per tree edge).
+  template <class T>
+  void broadcast_into(int root, std::span<T> buf) {
+    const int p = nprocs();
+    const int seq = next_collective();
+    if (p == 1) return;
+    const int vr = rel_rank(root);
+    int mask = 1;
+    while (mask < p) {
+      if (vr & mask) {
+        recv_into<T>(abs_rank(vr - mask, root), coll_tag(seq, 0), buf);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vr + mask < p) {
+        send<T>(abs_rank(vr + mask, root), coll_tag(seq, 0),
+                std::span<const T>(buf.data(), buf.size()));
+      }
+      mask >>= 1;
+    }
+  }
+
+  /// Broadcast a single value from `root` and return it everywhere.
+  template <class T>
+  T broadcast_value(int root, T v) {
+    broadcast_into<T>(root, std::span<T>(&v, 1));
+    return v;
+  }
+
+  /// Binomial-tree reduction of one value to `root` (valid only there).
+  template <class T, class Op = std::plus<T>>
+  T reduce(int root, T value, Op op = {}) {
+    const int p = nprocs();
+    const int seq = next_collective();
+    const int vr = rel_rank(root);
+    int mask = 1;
+    while (mask < p) {
+      if ((vr & mask) == 0) {
+        const int partner = vr | mask;
+        if (partner < p) {
+          const T other = recv_value<T>(abs_rank(partner, root),
+                                        coll_tag(seq, 0));
+          value = op(value, other);
+        }
+      } else {
+        send_value<T>(abs_rank(vr - mask, root), coll_tag(seq, 0), value);
+        break;
+      }
+      mask <<= 1;
+    }
+    return value;
+  }
+
+  /// All-reduce of one value: reduce to rank 0 then broadcast.
+  template <class T, class Op = std::plus<T>>
+  T allreduce(T value, Op op = {}) {
+    value = reduce<T, Op>(0, value, op);
+    return broadcast_value<T>(0, value);
+  }
+
+  /// Element-wise all-reduce of equal-length vectors on every rank.
+  /// This is the merge phase of the paper's PRIVATE ... WITH MERGE(+).
+  template <class T, class Op = std::plus<T>>
+  void allreduce_vec(std::vector<T>& buf, Op op = {}) {
+    const int p = nprocs();
+    const int seq = next_collective();
+    if (p == 1) return;
+    const std::size_t n = buf.size();
+    // Binomial reduce to 0 ...
+    int mask = 1;
+    while (mask < p) {
+      if ((rank_ & mask) == 0) {
+        const int partner = rank_ | mask;
+        if (partner < p) {
+          std::vector<T> other(n);
+          recv_into<T>(partner, coll_tag(seq, 0), other);
+          for (std::size_t i = 0; i < n; ++i) buf[i] = op(buf[i], other[i]);
+          add_flops(n);
+        }
+      } else {
+        send<T>(rank_ - mask, coll_tag(seq, 0),
+                std::span<const T>(buf.data(), n));
+        break;
+      }
+      mask <<= 1;
+    }
+    // ... then broadcast the merged vector (reuse of the tree pattern with
+    // a distinct phase id so steps cannot be confused).
+    int mask2 = 1;
+    while (mask2 < p) {
+      if (rank_ & mask2) {
+        recv_into<T>(rank_ - mask2, coll_tag(seq, 1), buf);
+        break;
+      }
+      mask2 <<= 1;
+    }
+    mask2 >>= 1;
+    while (mask2 > 0) {
+      if (rank_ + mask2 < p) {
+        send<T>(rank_ + mask2, coll_tag(seq, 1),
+                std::span<const T>(buf.data(), n));
+      }
+      mask2 >>= 1;
+    }
+  }
+
+  /// All-gather with per-rank block sizes `counts` (known by all, in
+  /// elements).  `local` is this rank's block; `out` receives the whole
+  /// concatenation.  This is the paper's "all-to-all broadcast of the local
+  /// vector elements" used by the row-wise matrix-vector product.
+  ///
+  /// Algorithm selection mirrors the paper's Section 4 analysis: on a
+  /// power-of-two hypercube we use recursive doubling (log NP start-ups,
+  /// the `t_startup * log N_P + t_comm * n/N_P ...` form); otherwise the
+  /// ring algorithm (NP-1 equal steps).
+  template <class T>
+  void allgatherv(std::span<const T> local, std::vector<T>& out,
+                  const std::vector<std::size_t>& counts) {
+    const int p = nprocs();
+    HPFCG_REQUIRE(static_cast<int>(counts.size()) == p,
+                  "allgatherv: counts must have one entry per rank");
+    HPFCG_REQUIRE(local.size() == counts[static_cast<std::size_t>(rank_)],
+                  "allgatherv: local block size disagrees with counts");
+    const int seq = next_collective();
+
+    std::vector<std::size_t> offset(counts.size() + 1, 0);
+    std::partial_sum(counts.begin(), counts.end(), offset.begin() + 1);
+    out.assign(offset.back(), T{});
+    std::copy(local.begin(), local.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                offset[static_cast<std::size_t>(rank_)]));
+    if (p == 1) return;
+
+    const bool pow2 = (p & (p - 1)) == 0;
+    if (pow2 && cost().topology() == Topology::kHypercube) {
+      // Recursive doubling: after step s this rank holds the blocks of the
+      // 2^(s+1)-rank group it belongs to; each step exchanges the whole
+      // held group with the partner across dimension s.
+      for (int step = 0, group = 1; group < p; ++step, group <<= 1) {
+        const int partner = rank_ ^ group;
+        const int my_base = rank_ & ~(group - 1);
+        const int partner_base = partner & ~(group - 1);
+        const auto mb = static_cast<std::size_t>(my_base);
+        const auto pb = static_cast<std::size_t>(partner_base);
+        const std::size_t my_len =
+            offset[mb + static_cast<std::size_t>(group)] - offset[mb];
+        const std::size_t partner_len =
+            offset[pb + static_cast<std::size_t>(group)] - offset[pb];
+        send<T>(partner, coll_tag(seq, step),
+                std::span<const T>(out.data() + offset[mb], my_len));
+        recv_into<T>(partner, coll_tag(seq, step),
+                     std::span<T>(out.data() + offset[pb], partner_len));
+      }
+      return;
+    }
+
+    const int right = (rank_ + 1) % p;
+    const int left = (rank_ - 1 + p) % p;
+    for (int step = 0; step < p - 1; ++step) {
+      const int send_block = (rank_ - step + p) % p;
+      const int recv_block = (rank_ - step - 1 + p) % p;
+      const auto sb = static_cast<std::size_t>(send_block);
+      const auto rb = static_cast<std::size_t>(recv_block);
+      send<T>(right, coll_tag(seq, step),
+              std::span<const T>(out.data() + offset[sb], counts[sb]));
+      recv_into<T>(left, coll_tag(seq, step),
+                   std::span<T>(out.data() + offset[rb], counts[rb]));
+    }
+  }
+
+  /// Gather variable-size blocks to `root`.  `counts` known by all ranks.
+  /// On root, `out` receives the concatenation; elsewhere it is cleared.
+  template <class T>
+  void gatherv(int root, std::span<const T> local, std::vector<T>& out,
+               const std::vector<std::size_t>& counts) {
+    const int p = nprocs();
+    HPFCG_REQUIRE(static_cast<int>(counts.size()) == p,
+                  "gatherv: counts must have one entry per rank");
+    const int seq = next_collective();
+    if (rank_ == root) {
+      std::vector<std::size_t> offset(counts.size() + 1, 0);
+      std::partial_sum(counts.begin(), counts.end(), offset.begin() + 1);
+      out.assign(offset.back(), T{});
+      std::copy(local.begin(), local.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(
+                                  offset[static_cast<std::size_t>(root)]));
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        recv_into<T>(r, coll_tag(seq, 0),
+                     std::span<T>(out.data() + offset[static_cast<std::size_t>(r)],
+                                  counts[static_cast<std::size_t>(r)]));
+      }
+    } else {
+      out.clear();
+      send<T>(root, coll_tag(seq, 0), local);
+    }
+  }
+
+  /// Scatter variable-size blocks from `root`; returns this rank's block.
+  /// `all` is read only on root.
+  template <class T>
+  std::vector<T> scatterv(int root, std::span<const T> all,
+                          const std::vector<std::size_t>& counts) {
+    const int p = nprocs();
+    HPFCG_REQUIRE(static_cast<int>(counts.size()) == p,
+                  "scatterv: counts must have one entry per rank");
+    const int seq = next_collective();
+    std::vector<T> mine(counts[static_cast<std::size_t>(rank_)]);
+    if (rank_ == root) {
+      std::vector<std::size_t> offset(counts.size() + 1, 0);
+      std::partial_sum(counts.begin(), counts.end(), offset.begin() + 1);
+      HPFCG_REQUIRE(all.size() == offset.back(),
+                    "scatterv: source length disagrees with counts");
+      for (int r = 0; r < p; ++r) {
+        const auto ur = static_cast<std::size_t>(r);
+        if (r == root) {
+          std::copy_n(all.data() + offset[ur], counts[ur], mine.data());
+        } else {
+          send<T>(r, coll_tag(seq, 0),
+                  std::span<const T>(all.data() + offset[ur], counts[ur]));
+        }
+      }
+    } else {
+      recv_into<T>(root, coll_tag(seq, 0), std::span<T>(mine));
+    }
+    return mine;
+  }
+
+  /// Personalized all-to-all: `send_blocks[r]` goes to rank r; returns the
+  /// blocks received, indexed by source rank.
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& send_blocks) {
+    const int p = nprocs();
+    HPFCG_REQUIRE(static_cast<int>(send_blocks.size()) == p,
+                  "alltoallv: need one block per destination rank");
+    const int seq = next_collective();
+    std::vector<std::vector<T>> recv_blocks(static_cast<std::size_t>(p));
+    recv_blocks[static_cast<std::size_t>(rank_)] =
+        send_blocks[static_cast<std::size_t>(rank_)];
+    for (int off = 1; off < p; ++off) {
+      const int dst = (rank_ + off) % p;
+      const int src = (rank_ - off + p) % p;
+      const auto& blk = send_blocks[static_cast<std::size_t>(dst)];
+      send<T>(dst, coll_tag(seq, off),
+              std::span<const T>(blk.data(), blk.size()));
+      recv_blocks[static_cast<std::size_t>(src)] =
+          recv<T>(src, coll_tag(seq, off));
+    }
+    return recv_blocks;
+  }
+
+  /// Exclusive prefix sum over ranks (rank 0 gets T{}).
+  template <class T, class Op = std::plus<T>>
+  T exscan(T value, Op op = {}) {
+    // Simple linear scan: rank r receives the prefix from r-1, forwards
+    // prefix ⊕ value to r+1.  Cost O(P) start-ups; used only in setup paths.
+    const int seq = next_collective();
+    T prefix{};
+    if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, coll_tag(seq, 0));
+    if (rank_ + 1 < nprocs()) {
+      send_value<T>(rank_ + 1, coll_tag(seq, 0), op(prefix, value));
+    }
+    return prefix;
+  }
+
+  /// Advance this rank's modeled clock to at least `t` seconds, booking the
+  /// difference as wait time.  Models blocking on a serialized predecessor.
+  void wait_until(double t) {
+    auto& s = stats();
+    const double now = s.modeled_seconds();
+    if (t > now) s.modeled_wait_seconds += t - now;
+  }
+
+  /// Run `f` on every rank in rank order (token-passed), then barrier.
+  /// Used to reproduce loops whose inter-processor dependencies serialize
+  /// execution (the paper's Scenario 2) and for ordered diagnostics.
+  /// The token carries the predecessor's modeled clock, so the cost model
+  /// sees the serialization: rank r's modeled time includes all of ranks
+  /// 0..r-1's time inside the chain.
+  void sequential(const std::function<void()>& f) {
+    const int seq = next_collective();
+    if (rank_ > 0) {
+      const double pred_clock =
+          recv_value<double>(rank_ - 1, coll_tag(seq, 0));
+      wait_until(pred_clock);
+    }
+    f();
+    if (rank_ + 1 < nprocs()) {
+      send_value<double>(rank_ + 1, coll_tag(seq, 0),
+                         stats().modeled_seconds());
+    }
+    barrier();
+  }
+
+ private:
+  [[nodiscard]] int rel_rank(int root) const {
+    return (rank_ - root + nprocs()) % nprocs();
+  }
+  [[nodiscard]] int abs_rank(int vr, int root) const {
+    return (vr + root) % nprocs();
+  }
+
+  int next_collective() {
+    ++stats().collectives;
+    return coll_seq_++;
+  }
+
+  /// Collective-internal tags live above the user tag space.
+  static int coll_tag(int seq, int step) {
+    return 0x40000000 | ((seq & 0x3FFFFF) << 8) | (step & 0xFF);
+  }
+
+  void send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+    HPFCG_REQUIRE(dst >= 0 && dst < nprocs(), "send: bad destination rank");
+    Envelope env;
+    env.src = rank_;
+    env.tag = tag;
+    env.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(env.payload.data(), data, bytes);
+    auto& s = stats();
+    ++s.messages_sent;
+    s.bytes_sent += bytes;
+    if (dst != rank_) s.modeled_comm_seconds += cost().params().t_startup;
+    rt_.mailbox(dst).deposit(std::move(env));
+  }
+
+  Envelope recv_bytes(int src, int tag, int* src_out = nullptr) {
+    Envelope env = rt_.mailbox(rank_).receive(src, tag);
+    auto& s = stats();
+    ++s.messages_received;
+    s.bytes_received += env.payload.size();
+    if (env.src != rank_) {
+      s.modeled_comm_seconds +=
+          cost().hops(env.src, rank_) * cost().params().t_hop +
+          static_cast<double>(env.payload.size()) * cost().params().t_comm;
+    }
+    if (src_out != nullptr) *src_out = env.src;
+    return env;
+  }
+
+  Runtime& rt_;
+  int rank_;
+  int coll_seq_ = 0;
+};
+
+}  // namespace hpfcg::msg

@@ -1,0 +1,83 @@
+#pragma once
+// SPMD runtime: N simulated processors, each an OS thread.
+//
+// This is the execution substrate an HPF compiler of the paper's era would
+// target: a single program body runs on every processor with its own rank
+// and private memory, communicating only through messages and collectives
+// (see process.hpp).  Runtime owns the mailboxes (the network), the barrier,
+// the cost model, and per-rank instrumentation.
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hpfcg/msg/cost_model.hpp"
+#include "hpfcg/msg/mailbox.hpp"
+#include "hpfcg/msg/stats.hpp"
+
+namespace hpfcg::msg {
+
+class Process;
+
+/// Owns the simulated machine.  Construct once, then call run() any number
+/// of times; statistics accumulate across runs until reset_stats().
+class Runtime {
+ public:
+  /// `nprocs` simulated processors with the given cost model parameters.
+  explicit Runtime(int nprocs, CostParams params = {},
+                   Topology topo = Topology::kHypercube);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute `body` on every simulated processor concurrently and join.
+  /// The first exception thrown by any processor aborts the whole machine
+  /// (blocked receives/barriers unwind) and is rethrown here.
+  void run(const std::function<void(Process&)>& body);
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] const CostModel& cost() const { return cost_; }
+
+  /// Instrumentation for one rank.
+  [[nodiscard]] const Stats& stats(int rank) const;
+
+  /// Sum of all ranks' counters.
+  [[nodiscard]] Stats total_stats() const;
+
+  /// Max modeled time over ranks — the machine's critical-path estimate.
+  [[nodiscard]] double modeled_makespan() const;
+
+  void reset_stats();
+
+  // ---- internals used by Process (public: Process lives in another TU) --
+  Mailbox& mailbox(int rank);
+  Stats& stats_mutable(int rank);
+  void barrier_wait();
+  void abort_all();
+  [[nodiscard]] bool aborted() const { return aborted_; }
+
+ private:
+  int nprocs_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<Stats> stats_;
+
+  // Sense-reversing central barrier with abort support.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  unsigned long barrier_generation_ = 0;
+  bool aborted_ = false;
+};
+
+/// Convenience: build a machine, run `body`, and return the runtime so the
+/// caller can inspect stats.
+std::unique_ptr<Runtime> spmd_run(int nprocs,
+                                  const std::function<void(Process&)>& body,
+                                  CostParams params = {},
+                                  Topology topo = Topology::kHypercube);
+
+}  // namespace hpfcg::msg

@@ -1,0 +1,56 @@
+#pragma once
+// Per-process instrumentation counters.
+//
+// Every process accumulates what it actually did — messages, bytes, flops,
+// collective calls — plus a modeled clock split into communication and
+// computation.  Tests assert on the exact counts (they are deterministic);
+// benchmarks print the modeled times next to the paper's closed-form
+// predictions.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpfcg::msg {
+
+/// Counters for one simulated processor.  Not thread-safe by design: each
+/// process mutates only its own Stats.
+struct Stats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t collectives = 0;  ///< broadcast/reduce/allreduce/gather/...
+
+  double modeled_comm_seconds = 0.0;
+  double modeled_compute_seconds = 0.0;
+  /// Idle time spent waiting on serialized predecessors (Process::sequential
+  /// token chains).  This is how the model exposes loops that "can not be
+  /// performed in parallel" (the paper's Scenario 2).
+  double modeled_wait_seconds = 0.0;
+
+  [[nodiscard]] double modeled_seconds() const {
+    return modeled_comm_seconds + modeled_compute_seconds +
+           modeled_wait_seconds;
+  }
+
+  /// Element-wise sum, used to aggregate across ranks.
+  Stats& operator+=(const Stats& o) {
+    messages_sent += o.messages_sent;
+    messages_received += o.messages_received;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    flops += o.flops;
+    barriers += o.barriers;
+    collectives += o.collectives;
+    modeled_comm_seconds += o.modeled_comm_seconds;
+    modeled_compute_seconds += o.modeled_compute_seconds;
+    modeled_wait_seconds += o.modeled_wait_seconds;
+    return *this;
+  }
+
+  void reset() { *this = Stats{}; }
+};
+
+}  // namespace hpfcg::msg

@@ -1,0 +1,108 @@
+#include "hpfcg/msg/cost_model.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::msg {
+
+std::string topology_name(Topology t) {
+  switch (t) {
+    case Topology::kHypercube:
+      return "hypercube";
+    case Topology::kRing:
+      return "ring";
+    case Topology::kMesh2D:
+      return "mesh2d";
+    case Topology::kFullyConnected:
+      return "crossbar";
+  }
+  return "unknown";
+}
+
+CostModel::CostModel(CostParams params, Topology topo, int nprocs)
+    : params_(params), topo_(topo), nprocs_(nprocs) {
+  HPFCG_REQUIRE(nprocs >= 1, "cost model needs at least one processor");
+  // Choose the most-square factorization for the 2-D mesh.
+  mesh_cols_ = 1;
+  for (int c = 1; c * c <= nprocs; ++c) {
+    if (nprocs % c == 0) mesh_cols_ = c;
+  }
+}
+
+int CostModel::hops(int src, int dst) const {
+  HPFCG_REQUIRE(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_,
+                "rank out of range in hop computation");
+  if (src == dst) return 0;
+  switch (topo_) {
+    case Topology::kHypercube:
+      return std::popcount(static_cast<unsigned>(src ^ dst));
+    case Topology::kRing: {
+      const int d = std::abs(src - dst);
+      return std::min(d, nprocs_ - d);
+    }
+    case Topology::kMesh2D: {
+      const int cols = mesh_cols_;
+      const int r1 = src / cols, c1 = src % cols;
+      const int r2 = dst / cols, c2 = dst % cols;
+      return std::abs(r1 - r2) + std::abs(c1 - c2);
+    }
+    case Topology::kFullyConnected:
+      return 1;
+  }
+  return 1;
+}
+
+double CostModel::message_time(int src, int dst, std::size_t bytes) const {
+  if (src == dst) return 0.0;  // local "copy": modelled as free
+  return params_.t_startup + hops(src, dst) * params_.t_hop +
+         static_cast<double>(bytes) * params_.t_comm;
+}
+
+int CostModel::log2_ceil_procs() const {
+  int l = 0;
+  while ((1 << l) < nprocs_) ++l;
+  return l;
+}
+
+double CostModel::broadcast_time(std::size_t bytes) const {
+  const int steps = log2_ceil_procs();
+  return steps * (params_.t_startup + params_.t_hop +
+                  static_cast<double>(bytes) * params_.t_comm);
+}
+
+double CostModel::reduce_time(std::size_t bytes) const {
+  return broadcast_time(bytes);  // mirrored tree
+}
+
+double CostModel::allreduce_time(std::size_t bytes) const {
+  return reduce_time(bytes) + broadcast_time(bytes);
+}
+
+double CostModel::allgather_time(std::size_t bytes_per_rank) const {
+  if (nprocs_ == 1) return 0.0;
+  if (topo_ == Topology::kHypercube &&
+      std::has_single_bit(static_cast<unsigned>(nprocs_))) {
+    // Recursive doubling: log P steps, doubling payload each step.  Total
+    // data moved per rank is (P-1)*m, start-ups are log P — this is the
+    // paper's  t_startup * log N_P + t_comm * n/N_P * (N_P - 1)  form.
+    const int steps = log2_ceil_procs();
+    double t = 0.0;
+    std::size_t chunk = bytes_per_rank;
+    for (int s = 0; s < steps; ++s) {
+      t += params_.t_startup + params_.t_hop +
+           static_cast<double>(chunk) * params_.t_comm;
+      chunk *= 2;
+    }
+    return t;
+  }
+  // Ring algorithm: P-1 equal steps.
+  return (nprocs_ - 1) * (params_.t_startup + params_.t_hop +
+                          static_cast<double>(bytes_per_rank) * params_.t_comm);
+}
+
+double CostModel::barrier_time() const { return allreduce_time(0); }
+
+}  // namespace hpfcg::msg

@@ -1,0 +1,59 @@
+#include "hpfcg/msg/mailbox.hpp"
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::msg {
+
+void Mailbox::deposit(Envelope env) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::match_locked(int src, int tag, Envelope& out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((src == kAnySource || it->src == src) && it->tag == tag) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Envelope Mailbox::receive(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Envelope out;
+  bool matched = false;
+  cv_.wait(lock, [&] {
+    matched = match_locked(src, tag, out);
+    return matched || aborted_;
+  });
+  if (!matched) {
+    throw util::Error("msg runtime aborted while receiving");
+  }
+  return out;
+}
+
+bool Mailbox::try_receive(int src, int tag, Envelope& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) throw util::Error("msg runtime aborted while receiving");
+  return match_locked(src, tag, out);
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace hpfcg::msg

@@ -1,0 +1,119 @@
+#include "hpfcg/msg/runtime.hpp"
+
+#include <thread>
+
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::msg {
+
+Runtime::Runtime(int nprocs, CostParams params, Topology topo)
+    : nprocs_(nprocs), cost_(params, topo, nprocs), stats_(nprocs) {
+  HPFCG_REQUIRE(nprocs >= 1, "Runtime needs at least one processor");
+  mailboxes_.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Runtime::run(const std::function<void(Process&)>& body) {
+  HPFCG_REQUIRE(!aborted_, "Runtime was aborted by a previous failure");
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs_));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nprocs_; ++r) {
+    threads.emplace_back([this, r, &body, &err_mu, &first_error] {
+      Process proc(*this, r);
+      try {
+        body(proc);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  // A correct SPMD program leaves no message in flight.
+  for (int r = 0; r < nprocs_; ++r) {
+    HPFCG_REQUIRE(mailboxes_[static_cast<std::size_t>(r)]->pending() == 0,
+                  "unreceived messages left in mailbox of rank " +
+                      std::to_string(r));
+  }
+}
+
+const Stats& Runtime::stats(int rank) const {
+  HPFCG_REQUIRE(rank >= 0 && rank < nprocs_, "stats: rank out of range");
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+Stats Runtime::total_stats() const {
+  Stats total;
+  for (const auto& s : stats_) total += s;
+  return total;
+}
+
+double Runtime::modeled_makespan() const {
+  double m = 0.0;
+  for (const auto& s : stats_) m = std::max(m, s.modeled_seconds());
+  return m;
+}
+
+void Runtime::reset_stats() {
+  for (auto& s : stats_) s.reset();
+}
+
+Mailbox& Runtime::mailbox(int rank) {
+  HPFCG_REQUIRE(rank >= 0 && rank < nprocs_, "mailbox: rank out of range");
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+Stats& Runtime::stats_mutable(int rank) {
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+void Runtime::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  if (aborted_) throw util::Error("msg runtime aborted at barrier");
+  const unsigned long my_generation = barrier_generation_;
+  if (++barrier_count_ == nprocs_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    lock.unlock();
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] {
+    return aborted_ || barrier_generation_ != my_generation;
+  });
+  if (barrier_generation_ == my_generation) {
+    throw util::Error("msg runtime aborted at barrier");
+  }
+}
+
+void Runtime::abort_all() {
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    aborted_ = true;
+  }
+  barrier_cv_.notify_all();
+  for (auto& mb : mailboxes_) mb->abort();
+}
+
+std::unique_ptr<Runtime> spmd_run(int nprocs,
+                                  const std::function<void(Process&)>& body,
+                                  CostParams params, Topology topo) {
+  auto rt = std::make_unique<Runtime>(nprocs, params, topo);
+  rt->run(body);
+  return rt;
+}
+
+}  // namespace hpfcg::msg

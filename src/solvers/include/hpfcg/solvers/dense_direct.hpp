@@ -1,0 +1,39 @@
+#pragma once
+// Dense direct solvers — the "simple Gaussian elimination" the paper's
+// introduction contrasts CG against, plus Cholesky for SPD ground truth.
+//
+// Used (a) as the correctness oracle for every iterative solver test and
+// (b) in the flop-crossover benchmark showing where iterative methods
+// overtake direct ones as n grows and A becomes sparse.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpfcg::solvers {
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// `a` is a dense row-major n×n matrix (copied internally).
+/// Throws util::Error if A is numerically singular.
+std::vector<double> gaussian_solve(std::span<const double> a,
+                                   std::span<const double> b);
+
+/// Cholesky factorization A = L L^T of an SPD dense row-major matrix,
+/// in place in the lower triangle of the returned copy.
+/// Throws util::Error if A is not positive definite.
+std::vector<double> cholesky_factor(std::span<const double> a, std::size_t n);
+
+/// Solve L L^T x = b given the factor from cholesky_factor.
+std::vector<double> cholesky_solve_factored(std::span<const double> l,
+                                            std::span<const double> b);
+
+/// Convenience: factor + solve.
+std::vector<double> cholesky_solve(std::span<const double> a,
+                                   std::span<const double> b);
+
+/// Flop counts for the crossover analysis: dense Cholesky ~ n^3/3,
+/// CG ~ iterations * (2*nnz + 10n).
+double cholesky_flops(std::size_t n);
+double cg_flops(std::size_t n, std::size_t nnz, std::size_t iterations);
+
+}  // namespace hpfcg::solvers

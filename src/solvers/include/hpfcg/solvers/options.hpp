@@ -1,0 +1,32 @@
+#pragma once
+// Shared iterative-solver configuration and reporting types.
+
+#include <cstddef>
+#include <vector>
+
+namespace hpfcg::solvers {
+
+/// Stopping control for every iterative solver in the suite.
+struct SolveOptions {
+  std::size_t max_iterations = 1000;
+  /// Converged when ||r||_2 <= rel_tolerance * ||b||_2 (absolute when b=0).
+  double rel_tolerance = 1e-10;
+  /// Record ||r||_2 after every iteration (residual_history).
+  bool track_residuals = false;
+};
+
+/// Outcome of an iterative solve.
+struct SolveResult {
+  std::size_t iterations = 0;
+  bool converged = false;
+  /// True when the recurrence broke down (zero inner product) before
+  /// reaching the tolerance — possible for CGS/BiCG on hard problems, and
+  /// the reason the paper calls CGS numerically undesirable.
+  bool breakdown = false;
+  /// ||r||_2 / ||b||_2 at exit.
+  double relative_residual = 0.0;
+  /// Per-iteration ||r||_2 (filled only when track_residuals).
+  std::vector<double> residual_history;
+};
+
+}  // namespace hpfcg::solvers

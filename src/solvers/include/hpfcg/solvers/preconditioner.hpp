@@ -1,0 +1,29 @@
+#pragma once
+// Preconditioners for PCG (Section 2.1: "A preconditioner for A ... will
+// increase the speed of convergence of the CG algorithm").
+//
+// Serial: Jacobi (diagonal) and SSOR, both built from a CSR matrix.
+// The distributed Jacobi preconditioner lives with the distributed solvers
+// (it is a purely local operation once the diagonal is aligned with r).
+
+#include <vector>
+
+#include "hpfcg/solvers/serial.hpp"
+#include "hpfcg/sparse/csr.hpp"
+
+namespace hpfcg::solvers {
+
+/// Jacobi: M = diag(A); apply z = D^{-1} r.  Fails if a diagonal entry is
+/// zero (not SPD then anyway).
+PrecApply jacobi_preconditioner(const sparse::Csr<double>& a);
+
+/// SSOR with relaxation factor omega in (0, 2):
+///   M = 1/(omega(2-omega)) (D + omega L) D^{-1} (D + omega U)
+/// applied by one forward and one backward triangular sweep.
+PrecApply ssor_preconditioner(const sparse::Csr<double>& a,
+                              double omega = 1.0);
+
+/// Identity (no preconditioning) — for uniform PCG call sites.
+PrecApply identity_preconditioner();
+
+}  // namespace hpfcg::solvers

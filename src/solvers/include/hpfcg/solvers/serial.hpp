@@ -1,0 +1,65 @@
+#pragma once
+// Serial reference implementations of the Section 2 solver family.
+//
+// These are the ground truth the distributed solvers are verified against,
+// and the single-processor baselines of the benchmarks:
+//   cg        — classic non-preconditioned Conjugate Gradient (the paper's
+//               Section 2 pseudo-code);
+//   pcg       — preconditioned CG (Jacobi or SSOR, preconditioner.hpp);
+//   bicg      — Bi-Conjugate Gradient (two matvecs, one with A^T);
+//   cgs       — Conjugate Gradient Squared (avoids A^T; can diverge);
+//   bicgstab  — Stabilized BiCG (avoids A^T, four inner products).
+
+#include <functional>
+#include <span>
+
+#include "hpfcg/solvers/options.hpp"
+#include "hpfcg/sparse/csr.hpp"
+
+namespace hpfcg::solvers {
+
+/// y = A*x callback used by the matrix-free solver entry points.
+using MatVec = std::function<void(std::span<const double>, std::span<double>)>;
+
+/// z = M^{-1}*r preconditioner application.
+using PrecApply =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Matrix-free CG: solves A x = b for SPD A given y=Ax.  x holds the
+/// initial guess on entry and the solution on exit.
+SolveResult cg(const MatVec& a, std::span<const double> b,
+               std::span<double> x, const SolveOptions& opts = {});
+
+/// CG on an assembled CSR matrix.
+SolveResult cg(const sparse::Csr<double>& a, std::span<const double> b,
+               std::span<double> x, const SolveOptions& opts = {});
+
+/// Preconditioned CG.
+SolveResult pcg(const MatVec& a, const PrecApply& m_inv,
+                std::span<const double> b, std::span<double> x,
+                const SolveOptions& opts = {});
+SolveResult pcg(const sparse::Csr<double>& a, const PrecApply& m_inv,
+                std::span<const double> b, std::span<double> x,
+                const SolveOptions& opts = {});
+
+/// BiCG: needs A and A^T products.  For symmetric A it produces the same
+/// iterates as CG (a test invariant).
+SolveResult bicg(const MatVec& a, const MatVec& a_transpose,
+                 std::span<const double> b, std::span<double> x,
+                 const SolveOptions& opts = {});
+SolveResult bicg(const sparse::Csr<double>& a, std::span<const double> b,
+                 std::span<double> x, const SolveOptions& opts = {});
+
+/// CGS.
+SolveResult cgs(const MatVec& a, std::span<const double> b,
+                std::span<double> x, const SolveOptions& opts = {});
+SolveResult cgs(const sparse::Csr<double>& a, std::span<const double> b,
+                std::span<double> x, const SolveOptions& opts = {});
+
+/// BiCGSTAB.
+SolveResult bicgstab(const MatVec& a, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts = {});
+SolveResult bicgstab(const sparse::Csr<double>& a, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts = {});
+
+}  // namespace hpfcg::solvers

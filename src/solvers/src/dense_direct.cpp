@@ -1,0 +1,104 @@
+#include "hpfcg/solvers/dense_direct.hpp"
+
+#include <cmath>
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::solvers {
+
+std::vector<double> gaussian_solve(std::span<const double> a,
+                                   std::span<const double> b) {
+  const std::size_t n = b.size();
+  HPFCG_REQUIRE(a.size() == n * n, "gaussian_solve: A must be n×n");
+  std::vector<double> m(a.begin(), a.end());
+  std::vector<double> x(b.begin(), b.end());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t piv = k;
+    double best = std::abs(m[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(m[i * n + k]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    HPFCG_REQUIRE(best > 0.0, "gaussian_solve: singular matrix");
+    if (piv != k) {
+      for (std::size_t j = k; j < n; ++j) std::swap(m[k * n + j], m[piv * n + j]);
+      std::swap(x[k], x[piv]);
+    }
+    const double inv = 1.0 / m[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = m[i * n + k] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) m[i * n + j] -= f * m[k * n + j];
+      x[i] -= f * x[k];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= m[ii * n + j] * x[j];
+    x[ii] = acc / m[ii * n + ii];
+  }
+  return x;
+}
+
+std::vector<double> cholesky_factor(std::span<const double> a,
+                                    std::size_t n) {
+  HPFCG_REQUIRE(a.size() == n * n, "cholesky_factor: A must be n×n");
+  std::vector<double> l(a.begin(), a.end());
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = l[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= l[j * n + k] * l[j * n + k];
+    HPFCG_REQUIRE(d > 0.0, "cholesky_factor: matrix is not positive definite");
+    const double ljj = std::sqrt(d);
+    l[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = l[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= l[i * n + k] * l[j * n + k];
+      l[i * n + j] = s / ljj;
+    }
+    for (std::size_t k = j + 1; k < n; ++k) l[j * n + k] = 0.0;  // zero upper
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve_factored(std::span<const double> l,
+                                            std::span<const double> b) {
+  const std::size_t n = b.size();
+  HPFCG_REQUIRE(l.size() == n * n, "cholesky_solve: factor must be n×n");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l[i * n + j] * y[j];
+    y[i] = acc / l[i * n + i];
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l[j * n + ii] * x[j];
+    x[ii] = acc / l[ii * n + ii];
+  }
+  return x;
+}
+
+std::vector<double> cholesky_solve(std::span<const double> a,
+                                   std::span<const double> b) {
+  return cholesky_solve_factored(cholesky_factor(a, b.size()), b);
+}
+
+double cholesky_flops(std::size_t n) {
+  const double nd = static_cast<double>(n);
+  return nd * nd * nd / 3.0 + 2.0 * nd * nd;  // factor + two triangular solves
+}
+
+double cg_flops(std::size_t n, std::size_t nnz, std::size_t iterations) {
+  // Per iteration: matvec 2*nnz, two dots 4n, three axpy-like updates 6n.
+  return static_cast<double>(iterations) *
+         (2.0 * static_cast<double>(nnz) + 10.0 * static_cast<double>(n));
+}
+
+}  // namespace hpfcg::solvers

@@ -1,0 +1,73 @@
+#include "hpfcg/solvers/preconditioner.hpp"
+
+#include <memory>
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::solvers {
+
+PrecApply jacobi_preconditioner(const sparse::Csr<double>& a) {
+  auto inv_diag = std::make_shared<std::vector<double>>(a.diagonal());
+  for (auto& d : *inv_diag) {
+    HPFCG_REQUIRE(d != 0.0, "jacobi: zero diagonal entry");
+    d = 1.0 / d;
+  }
+  return [inv_diag](std::span<const double> r, std::span<double> z) {
+    HPFCG_REQUIRE(r.size() == inv_diag->size() && z.size() == r.size(),
+                  "jacobi: dimension mismatch");
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = (*inv_diag)[i] * r[i];
+  };
+}
+
+PrecApply ssor_preconditioner(const sparse::Csr<double>& a, double omega) {
+  HPFCG_REQUIRE(omega > 0.0 && omega < 2.0, "ssor: omega must be in (0,2)");
+  HPFCG_REQUIRE(a.n_rows() == a.n_cols(), "ssor: square matrices only");
+  // Keep a private copy of the structure: the preconditioner must outlive
+  // the caller's matrix reference safely.
+  auto mat = std::make_shared<sparse::Csr<double>>(a);
+  auto diag = std::make_shared<std::vector<double>>(a.diagonal());
+  for (const double d : *diag) {
+    HPFCG_REQUIRE(d != 0.0, "ssor: zero diagonal entry");
+  }
+  const double scale = omega * (2.0 - omega);
+
+  return [mat, diag, omega, scale](std::span<const double> r,
+                                   std::span<double> z) {
+    const std::size_t n = mat->n_rows();
+    HPFCG_REQUIRE(r.size() == n && z.size() == n, "ssor: dimension mismatch");
+    std::vector<double> y(n);
+    // Forward sweep: (D/omega + L) y = r   <=>  (D + omega L) (y/omega)=r;
+    // we solve (D + omega L) y' = r with y' implicit in y.
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = r[i];
+      const auto cols = mat->row_cols(i);
+      const auto vals = mat->row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] < i) acc -= omega * vals[k] * y[cols[k]];
+      }
+      y[i] = acc / (*diag)[i];
+    }
+    // Scale by D.
+    for (std::size_t i = 0; i < n; ++i) y[i] *= (*diag)[i];
+    // Backward sweep: (D + omega U) z = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc = y[ii];
+      const auto cols = mat->row_cols(ii);
+      const auto vals = mat->row_values(ii);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] > ii) acc -= omega * vals[k] * z[cols[k]];
+      }
+      z[ii] = acc / (*diag)[ii];
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] *= scale;
+  };
+}
+
+PrecApply identity_preconditioner() {
+  return [](std::span<const double> r, std::span<double> z) {
+    HPFCG_REQUIRE(r.size() == z.size(), "identity prec: dimension mismatch");
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i];
+  };
+}
+
+}  // namespace hpfcg::solvers

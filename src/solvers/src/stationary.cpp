@@ -1,0 +1,97 @@
+#include "hpfcg/solvers/stationary.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::solvers {
+
+namespace {
+
+double residual_norm(const sparse::Csr<double>& a, std::span<const double> x,
+                     std::span<const double> b, std::span<double> scratch) {
+  a.matvec(x, scratch);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double d = b[i] - scratch[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+SolveResult jacobi_iteration(const sparse::Csr<double>& a,
+                             std::span<const double> b, std::span<double> x,
+                             const SolveOptions& opts) {
+  HPFCG_REQUIRE(b.size() == x.size(), "jacobi_iteration: dimension mismatch");
+  const std::size_t n = b.size();
+  SolveResult res;
+  const auto diag = a.diagonal();
+  for (const double d : diag) {
+    HPFCG_REQUIRE(d != 0.0, "jacobi_iteration: zero diagonal");
+  }
+  double bnorm = 0.0;
+  for (const double v : b) bnorm += v * v;
+  bnorm = std::sqrt(bnorm);
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  std::vector<double> q(n);
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    const double rnorm = residual_norm(a, x, b, q);
+    res.iterations = k;
+    res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    if (opts.track_residuals) res.residual_history.push_back(rnorm);
+    if (rnorm <= stop) {
+      res.converged = true;
+      return res;
+    }
+    // q currently holds A x; x_i += (b_i - (Ax)_i) / d_i.
+    for (std::size_t i = 0; i < n; ++i) x[i] += (b[i] - q[i]) / diag[i];
+  }
+  return res;
+}
+
+SolveResult sor_iteration(const sparse::Csr<double>& a,
+                          std::span<const double> b, std::span<double> x,
+                          double omega, const SolveOptions& opts) {
+  HPFCG_REQUIRE(b.size() == x.size(), "sor_iteration: dimension mismatch");
+  HPFCG_REQUIRE(omega > 0.0 && omega < 2.0, "sor: omega must be in (0,2)");
+  const std::size_t n = b.size();
+  SolveResult res;
+  const auto diag = a.diagonal();
+  for (const double d : diag) {
+    HPFCG_REQUIRE(d != 0.0, "sor_iteration: zero diagonal");
+  }
+  double bnorm = 0.0;
+  for (const double v : b) bnorm += v * v;
+  bnorm = std::sqrt(bnorm);
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  std::vector<double> scratch(n);
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    const double rnorm = residual_norm(a, x, b, scratch);
+    res.iterations = k;
+    res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    if (opts.track_residuals) res.residual_history.push_back(rnorm);
+    if (rnorm <= stop) {
+      res.converged = true;
+      return res;
+    }
+    // In-place forward sweep — each unknown uses already-updated
+    // predecessors: the Scenario-2-style sequential dependency.
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b[i];
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_values(i);
+      for (std::size_t kk = 0; kk < cols.size(); ++kk) {
+        if (cols[kk] != i) acc -= vals[kk] * x[cols[kk]];
+      }
+      x[i] = (1.0 - omega) * x[i] + omega * acc / diag[i];
+    }
+  }
+  return res;
+}
+
+}  // namespace hpfcg::solvers

@@ -1,0 +1,59 @@
+#pragma once
+// Conversions among the sparse storage schemes of Section 3.
+//
+// All conversions are exact: they preserve every stored entry (including
+// explicitly stored zeros are NOT preserved — construction goes through COO
+// compression which sums duplicates; generators never emit explicit zeros).
+
+#include "hpfcg/sparse/coo.hpp"
+#include "hpfcg/sparse/csc.hpp"
+#include "hpfcg/sparse/csr.hpp"
+
+namespace hpfcg::sparse {
+
+template <class T>
+Coo<T> to_coo(const Csr<T>& a) {
+  Coo<T> coo(a.n_rows(), a.n_cols());
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) coo.add(i, cols[k], vals[k]);
+  }
+  return coo;
+}
+
+template <class T>
+Coo<T> to_coo(const Csc<T>& a) {
+  Coo<T> coo(a.n_rows(), a.n_cols());
+  for (std::size_t j = 0; j < a.n_cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) coo.add(rows[k], j, vals[k]);
+  }
+  return coo;
+}
+
+template <class T>
+Csc<T> csr_to_csc(const Csr<T>& a) {
+  return Csc<T>::from_coo(to_coo(a));
+}
+
+template <class T>
+Csr<T> csc_to_csr(const Csc<T>& a) {
+  return Csr<T>::from_coo(to_coo(a));
+}
+
+/// A^T in CSR.  Note the format duality the paper leans on: the CSR arrays
+/// of A^T are exactly the CSC arrays of A.
+template <class T>
+Csr<T> transpose(const Csr<T>& a) {
+  Coo<T> coo(a.n_cols(), a.n_rows());
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) coo.add(cols[k], i, vals[k]);
+  }
+  return Csr<T>::from_coo(std::move(coo));
+}
+
+}  // namespace hpfcg::sparse

@@ -1,0 +1,75 @@
+#pragma once
+// Coordinate (triplet) sparse format — the assembly format.
+//
+// COO is the natural target for generators and Matrix Market input; it is
+// converted to the compressed formats of the paper (CSR/CSC, Section 3)
+// before any computation.
+
+#include <algorithm>
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::sparse {
+
+/// One nonzero entry.
+template <class T>
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  T value;
+};
+
+/// Mutable triplet collection for an n_rows × n_cols sparse matrix.
+template <class T>
+class Coo {
+ public:
+  Coo(std::size_t n_rows, std::size_t n_cols)
+      : n_rows_(n_rows), n_cols_(n_cols) {}
+
+  [[nodiscard]] std::size_t n_rows() const { return n_rows_; }
+  [[nodiscard]] std::size_t n_cols() const { return n_cols_; }
+  [[nodiscard]] std::size_t nnz() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Triplet<T>>& entries() const {
+    return entries_;
+  }
+
+  /// Append one entry (duplicates allowed; they sum in compress()).
+  void add(std::size_t row, std::size_t col, T value) {
+    HPFCG_REQUIRE(row < n_rows_ && col < n_cols_, "Coo::add: out of range");
+    entries_.push_back({row, col, value});
+  }
+
+  /// Append (i,j,v) and, when off-diagonal, (j,i,v) — symmetric assembly.
+  void add_sym(std::size_t row, std::size_t col, T value) {
+    add(row, col, value);
+    if (row != col) add(col, row, value);
+  }
+
+  /// Sort by (row, col) and sum duplicate coordinates in place.
+  void compress() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Triplet<T>& a, const Triplet<T>& b) {
+                return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+          entries_[out - 1].col == entries_[i].col) {
+        entries_[out - 1].value += entries_[i].value;
+      } else {
+        entries_[out++] = entries_[i];
+      }
+    }
+    entries_.resize(out);
+  }
+
+ private:
+  std::size_t n_rows_;
+  std::size_t n_cols_;
+  std::vector<Triplet<T>> entries_;
+};
+
+}  // namespace hpfcg::sparse

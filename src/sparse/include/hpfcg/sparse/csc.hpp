@@ -1,0 +1,142 @@
+#pragma once
+// Compressed Sparse Column storage — Figure 1 of the paper.
+//
+// The trio of Figure 1:
+//   a(nz)    nonzero values in column order            -> values()
+//   row(nz)  row number of each nonzero                -> row_idx()
+//   col(n+1) position of each column's first entry     -> col_ptr()
+// (0-based here; the paper is 1-based Fortran.)
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hpfcg/sparse/coo.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::sparse {
+
+/// Immutable-after-build CSC matrix.
+template <class T>
+class Csc {
+ public:
+  Csc() = default;
+
+  Csc(std::size_t n_rows, std::size_t n_cols, std::vector<std::size_t> col_ptr,
+      std::vector<std::size_t> row_idx, std::vector<T> values)
+      : n_rows_(n_rows),
+        n_cols_(n_cols),
+        col_ptr_(std::move(col_ptr)),
+        row_idx_(std::move(row_idx)),
+        values_(std::move(values)) {
+    HPFCG_REQUIRE(col_ptr_.size() == n_cols_ + 1,
+                  "Csc: col_ptr must have n_cols+1 entries");
+    HPFCG_REQUIRE(col_ptr_.front() == 0 && col_ptr_.back() == row_idx_.size(),
+                  "Csc: col_ptr must span [0, nnz]");
+    HPFCG_REQUIRE(row_idx_.size() == values_.size(),
+                  "Csc: row_idx/values length mismatch");
+    for (std::size_t j = 0; j < n_cols_; ++j) {
+      HPFCG_REQUIRE(col_ptr_[j] <= col_ptr_[j + 1],
+                    "Csc: col_ptr must be nondecreasing");
+    }
+    for (const std::size_t r : row_idx_) {
+      HPFCG_REQUIRE(r < n_rows_, "Csc: row index out of range");
+    }
+  }
+
+  /// Build from (compressed) COO — entries sorted by (col, row).
+  static Csc from_coo(Coo<T> coo) {
+    // compress() sorts by (row, col); we need column-major order, so build
+    // a transposed COO, compress that, and swap roles back while emitting.
+    Coo<T> tmp(coo.n_cols(), coo.n_rows());
+    for (const auto& e : coo.entries()) tmp.add(e.col, e.row, e.value);
+    tmp.compress();
+    std::vector<std::size_t> col_ptr(coo.n_cols() + 1, 0);
+    std::vector<std::size_t> row_idx;
+    std::vector<T> values;
+    row_idx.reserve(tmp.nnz());
+    values.reserve(tmp.nnz());
+    for (const auto& e : tmp.entries()) ++col_ptr[e.row + 1];  // e.row == col
+    for (std::size_t j = 0; j < coo.n_cols(); ++j) col_ptr[j + 1] += col_ptr[j];
+    for (const auto& e : tmp.entries()) {
+      row_idx.push_back(e.col);  // e.col == original row
+      values.push_back(e.value);
+    }
+    return Csc(coo.n_rows(), coo.n_cols(), std::move(col_ptr),
+               std::move(row_idx), std::move(values));
+  }
+
+  [[nodiscard]] std::size_t n_rows() const { return n_rows_; }
+  [[nodiscard]] std::size_t n_cols() const { return n_cols_; }
+  [[nodiscard]] std::size_t nnz() const { return row_idx_.size(); }
+
+  [[nodiscard]] const std::vector<std::size_t>& col_ptr() const {
+    return col_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& row_idx() const {
+    return row_idx_;
+  }
+  [[nodiscard]] const std::vector<T>& values() const { return values_; }
+
+  [[nodiscard]] std::size_t col_nnz(std::size_t j) const {
+    HPFCG_REQUIRE(j < n_cols_, "col_nnz: out of range");
+    return col_ptr_[j + 1] - col_ptr_[j];
+  }
+
+  [[nodiscard]] std::span<const std::size_t> col_rows(std::size_t j) const {
+    HPFCG_REQUIRE(j < n_cols_, "col_rows: out of range");
+    return {row_idx_.data() + col_ptr_[j], col_nnz(j)};
+  }
+  [[nodiscard]] std::span<const T> col_values(std::size_t j) const {
+    HPFCG_REQUIRE(j < n_cols_, "col_values: out of range");
+    return {values_.data() + col_ptr_[j], col_nnz(j)};
+  }
+
+  /// Element lookup (zero if absent).
+  [[nodiscard]] T at(std::size_t i, std::size_t j) const {
+    const auto rows = col_rows(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] == i) return col_values(j)[k];
+    }
+    return T{};
+  }
+
+  /// q = A * p, serial reference — the paper's column-major loop:
+  ///   DO j; pj = p(j); DO k = col(j), col(j+1)-1:
+  ///     q(row(k)) += a(k) * pj
+  void matvec(std::span<const T> p, std::span<T> q) const {
+    HPFCG_REQUIRE(p.size() == n_cols_ && q.size() == n_rows_,
+                  "Csc::matvec: dimension mismatch");
+    for (auto& v : q) v = T{};
+    for (std::size_t j = 0; j < n_cols_; ++j) {
+      const T pj = p[j];
+      const std::size_t lo = col_ptr_[j];
+      const std::size_t hi = col_ptr_[j + 1];
+      for (std::size_t k = lo; k < hi; ++k) {
+        q[row_idx_[k]] += values_[k] * pj;
+      }
+    }
+  }
+
+  /// Dense expansion (tests only).
+  [[nodiscard]] std::vector<T> to_dense() const {
+    std::vector<T> d(n_rows_ * n_cols_, T{});
+    for (std::size_t j = 0; j < n_cols_; ++j) {
+      const auto rows = col_rows(j);
+      const auto vals = col_values(j);
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        d[rows[k] * n_cols_ + j] = vals[k];
+      }
+    }
+    return d;
+  }
+
+ private:
+  std::size_t n_rows_ = 0;
+  std::size_t n_cols_ = 0;
+  std::vector<std::size_t> col_ptr_;
+  std::vector<std::size_t> row_idx_;
+  std::vector<T> values_;
+};
+
+}  // namespace hpfcg::sparse

@@ -1,0 +1,193 @@
+#pragma once
+// Compressed Sparse Row storage (Section 3 of the paper).
+//
+// The trio (row_ptr, col_idx, values) with row_ptr of length n+1: row i's
+// entries live at positions [row_ptr[i], row_ptr[i+1]) of col_idx/values.
+// This is the `(row, col, a)` trio of Figure 2 with the roles named
+// explicitly.  Entries within a row are kept in ascending column order.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hpfcg/sparse/coo.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::sparse {
+
+template <class T>
+class Csc;  // forward: conversions live in convert.hpp
+
+/// Immutable-after-build CSR matrix.
+template <class T>
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from raw arrays (validated).
+  Csr(std::size_t n_rows, std::size_t n_cols, std::vector<std::size_t> row_ptr,
+      std::vector<std::size_t> col_idx, std::vector<T> values)
+      : n_rows_(n_rows),
+        n_cols_(n_cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    HPFCG_REQUIRE(row_ptr_.size() == n_rows_ + 1,
+                  "Csr: row_ptr must have n_rows+1 entries");
+    HPFCG_REQUIRE(row_ptr_.front() == 0 && row_ptr_.back() == col_idx_.size(),
+                  "Csr: row_ptr must span [0, nnz]");
+    HPFCG_REQUIRE(col_idx_.size() == values_.size(),
+                  "Csr: col_idx/values length mismatch");
+    for (std::size_t i = 0; i < n_rows_; ++i) {
+      HPFCG_REQUIRE(row_ptr_[i] <= row_ptr_[i + 1],
+                    "Csr: row_ptr must be nondecreasing");
+    }
+    for (const std::size_t c : col_idx_) {
+      HPFCG_REQUIRE(c < n_cols_, "Csr: column index out of range");
+    }
+  }
+
+  /// Build from a dense row-major matrix, dropping exact zeros.
+  static Csr from_dense(std::size_t n_rows, std::size_t n_cols,
+                        std::span<const T> dense) {
+    HPFCG_REQUIRE(dense.size() == n_rows * n_cols,
+                  "Csr::from_dense: shape mismatch");
+    Coo<T> coo(n_rows, n_cols);
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      for (std::size_t j = 0; j < n_cols; ++j) {
+        const T v = dense[i * n_cols + j];
+        if (v != T{}) coo.add(i, j, v);
+      }
+    }
+    return from_coo(std::move(coo));
+  }
+
+  /// Build from (compressed) COO.
+  static Csr from_coo(Coo<T> coo) {
+    coo.compress();
+    std::vector<std::size_t> row_ptr(coo.n_rows() + 1, 0);
+    std::vector<std::size_t> col_idx;
+    std::vector<T> values;
+    col_idx.reserve(coo.nnz());
+    values.reserve(coo.nnz());
+    for (const auto& e : coo.entries()) ++row_ptr[e.row + 1];
+    for (std::size_t i = 0; i < coo.n_rows(); ++i) row_ptr[i + 1] += row_ptr[i];
+    for (const auto& e : coo.entries()) {
+      col_idx.push_back(e.col);
+      values.push_back(e.value);
+    }
+    return Csr(coo.n_rows(), coo.n_cols(), std::move(row_ptr),
+               std::move(col_idx), std::move(values));
+  }
+
+  [[nodiscard]] std::size_t n_rows() const { return n_rows_; }
+  [[nodiscard]] std::size_t n_cols() const { return n_cols_; }
+  [[nodiscard]] std::size_t nnz() const { return col_idx_.size(); }
+
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<T>& values() const { return values_; }
+
+  /// Number of nonzeros in row i.
+  [[nodiscard]] std::size_t row_nnz(std::size_t i) const {
+    HPFCG_REQUIRE(i < n_rows_, "row_nnz: out of range");
+    return row_ptr_[i + 1] - row_ptr_[i];
+  }
+
+  /// Column indices / values of row i.
+  [[nodiscard]] std::span<const std::size_t> row_cols(std::size_t i) const {
+    HPFCG_REQUIRE(i < n_rows_, "row_cols: out of range");
+    return {col_idx_.data() + row_ptr_[i], row_nnz(i)};
+  }
+  [[nodiscard]] std::span<const T> row_values(std::size_t i) const {
+    HPFCG_REQUIRE(i < n_rows_, "row_values: out of range");
+    return {values_.data() + row_ptr_[i], row_nnz(i)};
+  }
+
+  /// Element lookup (zero if absent) — O(row nnz), for tests/diagnostics.
+  [[nodiscard]] T at(std::size_t i, std::size_t j) const {
+    const auto cols = row_cols(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == j) return row_values(i)[k];
+    }
+    return T{};
+  }
+
+  /// q = A * p, serial reference.  q must be sized n_rows.
+  void matvec(std::span<const T> p, std::span<T> q) const {
+    HPFCG_REQUIRE(p.size() == n_cols_ && q.size() == n_rows_,
+                  "Csr::matvec: dimension mismatch");
+    for (std::size_t i = 0; i < n_rows_; ++i) {
+      T acc{};
+      const std::size_t lo = row_ptr_[i];
+      const std::size_t hi = row_ptr_[i + 1];
+      for (std::size_t k = lo; k < hi; ++k) {
+        acc += values_[k] * p[col_idx_[k]];
+      }
+      q[i] = acc;
+    }
+  }
+
+  /// q = A^T * p, serial reference.  q must be sized n_cols.
+  void matvec_transpose(std::span<const T> p, std::span<T> q) const {
+    HPFCG_REQUIRE(p.size() == n_rows_ && q.size() == n_cols_,
+                  "Csr::matvec_transpose: dimension mismatch");
+    for (auto& v : q) v = T{};
+    for (std::size_t i = 0; i < n_rows_; ++i) {
+      const T pi = p[i];
+      const std::size_t lo = row_ptr_[i];
+      const std::size_t hi = row_ptr_[i + 1];
+      for (std::size_t k = lo; k < hi; ++k) {
+        q[col_idx_[k]] += values_[k] * pi;
+      }
+    }
+  }
+
+  /// Exact structural + numeric symmetry check (CG requires symmetric A).
+  [[nodiscard]] bool is_symmetric(T tol = T{}) const {
+    if (n_rows_ != n_cols_) return false;
+    for (std::size_t i = 0; i < n_rows_; ++i) {
+      const auto cols = row_cols(i);
+      const auto vals = row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const T diff = at(cols[k], i) - vals[k];
+        if ((diff < T{} ? -diff : diff) > tol) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Dense expansion (tests only).
+  [[nodiscard]] std::vector<T> to_dense() const {
+    std::vector<T> d(n_rows_ * n_cols_, T{});
+    for (std::size_t i = 0; i < n_rows_; ++i) {
+      const auto cols = row_cols(i);
+      const auto vals = row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        d[i * n_cols_ + cols[k]] = vals[k];
+      }
+    }
+    return d;
+  }
+
+  /// Main diagonal as a vector (zeros where absent).
+  [[nodiscard]] std::vector<T> diagonal() const {
+    const std::size_t n = std::min(n_rows_, n_cols_);
+    std::vector<T> d(n, T{});
+    for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+    return d;
+  }
+
+ private:
+  std::size_t n_rows_ = 0;
+  std::size_t n_cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<T> values_;
+};
+
+}  // namespace hpfcg::sparse

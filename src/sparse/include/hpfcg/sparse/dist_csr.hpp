@@ -1,0 +1,266 @@
+#pragma once
+// Distributed CSR matrix — the paper's Scenario 1 (row-wise partitioning)
+// for sparse storage, Figure 2 / Section 4.
+//
+// Rows are distributed by `row_dist` (the alignment target of the q vector)
+// and the nnz arrays (a, col) by `nnz_dist`.  HPF-1 can only express
+// regular distributions of the nnz arrays, e.g. `DISTRIBUTE col(BLOCK)`,
+// whose boundaries ignore row structure — rows straddling a cut need their
+// missing (col, a) elements fetched every sweep (NnzExchangePlan).  The
+// paper's proposed ATOM:BLOCK distribution (ext/atom_partition.hpp) makes
+// the two distributions row-aligned so the fetch disappears; its proposed
+// SPARSE_MATRIX descriptor lets the compiler cache the fetched entries
+// (enable_caching()), since the trio is known immutable.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/sparse/csr.hpp"
+#include "hpfcg/sparse/nnz_exchange.hpp"
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::sparse {
+
+template <class T>
+class DistCsr {
+ public:
+  /// Collective build from a replicated matrix: each rank keeps only its
+  /// owned rows' pointers and its owned nnz slice.
+  DistCsr(msg::Process& proc, const Csr<T>& a, hpf::DistPtr row_dist,
+          hpf::DistPtr nnz_dist)
+      : proc_(&proc),
+        row_dist_(std::move(row_dist)),
+        nnz_dist_(std::move(nnz_dist)),
+        n_(a.n_rows()),
+        plan_(proc, a.row_ptr(), *row_dist_, *nnz_dist_) {
+    HPFCG_REQUIRE(a.n_rows() == a.n_cols(),
+                  "DistCsr: square matrices only (CG context)");
+    HPFCG_REQUIRE(row_dist_->size() == n_, "DistCsr: row dist size mismatch");
+    HPFCG_REQUIRE(nnz_dist_->size() == a.nnz(),
+                  "DistCsr: nnz dist size mismatch");
+
+    const auto [row_lo, row_hi] = row_dist_->local_range(proc.rank());
+    row_lo_ = row_lo;
+    row_ptr_.assign(a.row_ptr().begin() + static_cast<std::ptrdiff_t>(row_lo),
+                    a.row_ptr().begin() + static_cast<std::ptrdiff_t>(row_hi) +
+                        1);
+
+    const auto own = plan_.owned();
+    col_o_.assign(a.col_idx().begin() + static_cast<std::ptrdiff_t>(own.begin),
+                  a.col_idx().begin() + static_cast<std::ptrdiff_t>(own.end));
+    val_o_.assign(a.values().begin() + static_cast<std::ptrdiff_t>(own.begin),
+                  a.values().begin() + static_cast<std::ptrdiff_t>(own.end));
+
+    const auto need = plan_.needed();
+    col_w_.assign(need.size(), 0);
+    val_w_.assign(need.size(), T{});
+  }
+
+  /// Atom-aligned build: nnz cut points derived from the row cut points, so
+  /// each row's entries live with its owner — the ATOM:BLOCK semantics.
+  static DistCsr row_aligned(msg::Process& proc, const Csr<T>& a,
+                             hpf::DistPtr row_dist) {
+    HPFCG_REQUIRE(row_dist->contiguous(),
+                  "row_aligned: row distribution must be contiguous");
+    std::vector<std::size_t> cuts(static_cast<std::size_t>(row_dist->nprocs()) +
+                                  1);
+    for (int r = 0; r <= row_dist->nprocs(); ++r) {
+      const std::size_t row_cut =
+          r == row_dist->nprocs() ? a.n_rows()
+                                  : row_dist->local_range(r).first;
+      cuts[static_cast<std::size_t>(r)] = a.row_ptr()[row_cut];
+    }
+    auto nnz_dist = std::make_shared<const hpf::Distribution>(
+        hpf::Distribution::from_cuts(a.nnz(), std::move(cuts)));
+    return DistCsr(proc, a, std::move(row_dist), std::move(nnz_dist));
+  }
+
+  /// Collective build where only `root` holds the assembled matrix (the
+  /// realistic I/O path: root parses a file, slices travel once).  Always
+  /// row-aligned.  `a` is read only on root; other ranks may pass any
+  /// matrix (ignored).  `row_dist` must be contiguous.
+  static DistCsr scatter_from_root(msg::Process& proc, int root,
+                                   const Csr<T>& a, hpf::DistPtr row_dist) {
+    HPFCG_REQUIRE(row_dist->contiguous(),
+                  "scatter_from_root: row distribution must be contiguous");
+    const int np = proc.nprocs();
+    constexpr int kTag = 0x2300;
+
+    // Root derives and broadcasts the nnz cut points (the replicated
+    // "small array in the size of the number of processors").
+    std::vector<std::size_t> cuts(static_cast<std::size_t>(np) + 1, 0);
+    if (proc.rank() == root) {
+      HPFCG_REQUIRE(a.n_rows() == row_dist->size(),
+                    "scatter_from_root: matrix and distribution disagree");
+      for (int r = 0; r < np; ++r) {
+        cuts[static_cast<std::size_t>(r)] =
+            a.row_ptr()[row_dist->local_range(r).first];
+      }
+      cuts.back() = a.nnz();
+    }
+    proc.broadcast_into<std::size_t>(root,
+                                     std::span<std::size_t>(cuts));
+
+    DistCsr out(proc, std::move(row_dist),
+                hpf::Distribution::from_cuts(cuts.back(), cuts));
+
+    // Ship each rank its slices: row_ptr (global k values), col, a.
+    if (proc.rank() == root) {
+      for (int r = 0; r < np; ++r) {
+        const auto [lo, hi] = out.row_dist_->local_range(r);
+        const auto ur = static_cast<std::size_t>(r);
+        const std::span<const std::size_t> rp(a.row_ptr().data() + lo,
+                                              hi - lo + 1);
+        const std::span<const std::size_t> cols(
+            a.col_idx().data() + cuts[ur], cuts[ur + 1] - cuts[ur]);
+        const std::span<const T> vals(a.values().data() + cuts[ur],
+                                      cuts[ur + 1] - cuts[ur]);
+        if (r == root) {
+          out.row_ptr_.assign(rp.begin(), rp.end());
+          out.col_o_.assign(cols.begin(), cols.end());
+          out.val_o_.assign(vals.begin(), vals.end());
+        } else {
+          proc.send<std::size_t>(r, kTag, rp);
+          proc.send<std::size_t>(r, kTag + 1, cols);
+          proc.send<T>(r, kTag + 2, vals);
+        }
+      }
+    } else {
+      out.row_ptr_ = proc.recv<std::size_t>(root, kTag);
+      out.col_o_ = proc.recv<std::size_t>(root, kTag + 1);
+      out.val_o_ = proc.recv<T>(root, kTag + 2);
+    }
+    out.col_w_ = out.col_o_;
+    out.val_w_ = out.val_o_;
+    out.assembled_ = true;
+    out.caching_ = true;  // aligned: the work window never changes
+    return out;
+  }
+
+  [[nodiscard]] msg::Process& proc() const { return *proc_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] const hpf::Distribution& row_dist() const {
+    return *row_dist_;
+  }
+  [[nodiscard]] const hpf::DistPtr& row_dist_ptr() const { return row_dist_; }
+  [[nodiscard]] const hpf::Distribution& nnz_dist() const {
+    return *nnz_dist_;
+  }
+  [[nodiscard]] std::size_t local_rows() const {
+    return row_ptr_.size() - 1;
+  }
+  [[nodiscard]] std::size_t local_nnz() const { return val_o_.size(); }
+
+  /// Entries fetched from other ranks per (uncached) sweep.
+  [[nodiscard]] std::size_t remote_nnz() const { return plan_.remote_nnz(); }
+
+  /// SPARSE_MATRIX-descriptor semantics: the trio is declared immutable, so
+  /// fetched entries are cached after the first sweep instead of re-fetched
+  /// every time.
+  void enable_caching() { caching_ = true; }
+
+  /// q = A * p.  Both vectors must be distributed like the rows.
+  /// Communication: one all-to-all broadcast of p (Scenario 1) plus the
+  /// executor fetch for any nnz the rank's rows do not own.
+  void matvec(const hpf::DistributedVector<T>& p,
+              hpf::DistributedVector<T>& q) {
+    check_vectors(p, q);
+    const std::vector<T> full_p = p.to_global();
+    assemble();
+    const std::size_t base = plan_.needed().begin;
+    auto ql = q.local();
+    std::size_t flops = 0;
+    for (std::size_t lr = 0; lr < local_rows(); ++lr) {
+      T acc{};
+      const std::size_t lo = row_ptr_[lr];
+      const std::size_t hi = row_ptr_[lr + 1];
+      for (std::size_t k = lo; k < hi; ++k) {
+        acc += val_w_[k - base] * full_p[col_w_[k - base]];
+      }
+      ql[lr] = acc;
+      flops += 2 * (hi - lo);
+    }
+    proc_->add_flops(flops);
+  }
+
+  /// q = A^T * p.  With row-wise storage the transpose product is a
+  /// many-to-one accumulation (each local row scatters into q's columns) —
+  /// the merge pattern of Scenario 2.  This is the operation that makes
+  /// BiCG "negate" row-storage optimisations (Section 2.1): it costs an
+  /// n-length merge instead of Scenario 1's broadcast.
+  void matvec_transpose(const hpf::DistributedVector<T>& p,
+                        hpf::DistributedVector<T>& q) {
+    check_vectors(p, q);
+    assemble();
+    const std::size_t base = plan_.needed().begin;
+    std::vector<T> q_priv(n_, T{});
+    std::size_t flops = 0;
+    for (std::size_t lr = 0; lr < local_rows(); ++lr) {
+      const T pi = p.local()[lr];
+      const std::size_t lo = row_ptr_[lr];
+      const std::size_t hi = row_ptr_[lr + 1];
+      for (std::size_t k = lo; k < hi; ++k) {
+        q_priv[col_w_[k - base]] += val_w_[k - base] * pi;
+      }
+      flops += 2 * (hi - lo);
+    }
+    proc_->add_flops(flops);
+    proc_->allreduce_vec(q_priv);
+    auto ql = q.local();
+    for (std::size_t l = 0; l < ql.size(); ++l) ql[l] = q_priv[q.global_of(l)];
+  }
+
+ private:
+  /// Shell constructor for scatter_from_root: aligned plan, storage filled
+  /// by the caller.
+  DistCsr(msg::Process& proc, hpf::DistPtr row_dist,
+          hpf::Distribution nnz_dist)
+      : proc_(&proc),
+        row_dist_(std::move(row_dist)),
+        nnz_dist_(std::make_shared<const hpf::Distribution>(
+            std::move(nnz_dist))),
+        n_(row_dist_->size()),
+        plan_(NnzExchangePlan::aligned(
+            proc.nprocs(),
+            {nnz_dist_->local_range(proc.rank()).first,
+             nnz_dist_->local_range(proc.rank()).second})) {
+    row_lo_ = row_dist_->local_range(proc.rank()).first;
+  }
+
+  void check_vectors(const hpf::DistributedVector<T>& p,
+                     const hpf::DistributedVector<T>& q) const {
+    HPFCG_REQUIRE(p.size() == n_ && q.size() == n_,
+                  "DistCsr::matvec: dimension mismatch");
+    HPFCG_REQUIRE(p.dist() == *row_dist_ && q.dist() == *row_dist_,
+                  "DistCsr::matvec: vectors must be aligned with the rows");
+  }
+
+  /// Run the executor unless the cache already holds the window.
+  void assemble() {
+    if (caching_ && assembled_) return;
+    plan_.execute<std::size_t>(*proc_, std::span<const std::size_t>(col_o_),
+                               std::span<std::size_t>(col_w_));
+    plan_.execute<T>(*proc_, std::span<const T>(val_o_), std::span<T>(val_w_));
+    assembled_ = true;
+  }
+
+  msg::Process* proc_;
+  hpf::DistPtr row_dist_;
+  hpf::DistPtr nnz_dist_;
+  std::size_t n_ = 0;
+  std::size_t row_lo_ = 0;
+  NnzExchangePlan plan_;
+  std::vector<std::size_t> row_ptr_;  ///< my rows' pointers (global k values)
+  std::vector<std::size_t> col_o_;    ///< owned slice of col
+  std::vector<T> val_o_;              ///< owned slice of a
+  std::vector<std::size_t> col_w_;    ///< assembled needed window of col
+  std::vector<T> val_w_;              ///< assembled needed window of a
+  bool caching_ = false;
+  bool assembled_ = false;
+};
+
+}  // namespace hpfcg::sparse

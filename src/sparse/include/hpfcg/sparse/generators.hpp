@@ -1,0 +1,63 @@
+#pragma once
+// Workload generators — the application matrices the paper's introduction
+// motivates, built synthetically so every experiment is self-contained:
+//
+//   * 2-D/3-D Laplacians: the CFD / structural-analysis grid operators
+//     ("computational fluid dynamics ... sparse" matrices);
+//   * random symmetric positive-definite matrices: NAS-CG-style benchmark
+//     inputs;
+//   * power-law ("irregular grid") matrices: "some grid points may have
+//     many neighbours, while others have very few" (Section 5.2.2) — the
+//     load-imbalance workload for the balanced partitioners;
+//   * diagonal matrices with a prescribed spectrum: exercise the CG theory
+//     that convergence takes at most n_e = #distinct eigenvalues steps;
+//   * the exact 6×6 example of Figure 1;
+//   * a dense SPD surrogate for computational-electromagnetics systems.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hpfcg/sparse/csr.hpp"
+
+namespace hpfcg::sparse {
+
+/// 5-point 2-D Laplacian on an nx×ny grid (n = nx*ny).  SPD.
+Csr<double> laplacian_2d(std::size_t nx, std::size_t ny);
+
+/// 7-point 3-D Laplacian on an nx×ny×nz grid.  SPD.
+Csr<double> laplacian_3d(std::size_t nx, std::size_t ny, std::size_t nz);
+
+/// Symmetric tridiagonal Toeplitz [off, diag, off].  SPD when diag > 2|off|.
+Csr<double> tridiagonal(std::size_t n, double diag, double off);
+
+/// Random sparse SPD matrix: symmetric pattern with ~`avg_row_nnz` entries
+/// per row, off-diagonal values in (-1, 0), and a diagonal that strictly
+/// dominates each row (so the matrix is SPD by Gershgorin).
+Csr<double> random_spd(std::size_t n, std::size_t avg_row_nnz,
+                       std::uint64_t seed);
+
+/// Irregular "power-law" SPD matrix: `hub_count` hub rows connect to
+/// ~`hub_degree` random neighbours each, every other row has `base_degree`
+/// neighbours.  Symmetric, diagonally dominant.  Row nonzero counts vary by
+/// orders of magnitude — the Section 5.2.2 workload.
+Csr<double> powerlaw_spd(std::size_t n, std::size_t base_degree,
+                         std::size_t hub_count, std::size_t hub_degree,
+                         std::uint64_t seed);
+
+/// Diagonal matrix with the given (positive) eigenvalues.
+Csr<double> diagonal_spectrum(const std::vector<double>& eigenvalues);
+
+/// The exact 6×6 sparse matrix of Figure 1, with a_ij = 10*i + j (1-based
+/// subscripts), e.g. a11 = 11, a51 = 51.  15 nonzeros.
+Csr<double> figure1_matrix();
+
+/// Dense SPD surrogate for an electromagnetics moment-method system:
+/// A(i,j) = exp(-|i-j|/range) off the diagonal, 2.0 on it.  Returned as a
+/// callable-friendly dense row generator value.
+double em_dense_entry(std::size_t i, std::size_t j, double range);
+
+/// Random right-hand side with entries in (-1, 1).
+std::vector<double> random_rhs(std::size_t n, std::uint64_t seed);
+
+}  // namespace hpfcg::sparse

@@ -1,0 +1,28 @@
+#pragma once
+// Matrix Market (coordinate, real) I/O.
+//
+// Supports `general` and `symmetric` coordinate files with real entries —
+// enough to exchange the paper's benchmark matrices with external tools
+// (PARKBENCH/NAS-era codes all spoke this format).
+
+#include <iosfwd>
+#include <string>
+
+#include "hpfcg/sparse/csr.hpp"
+
+namespace hpfcg::sparse {
+
+/// Parse a Matrix Market coordinate stream into CSR.  Symmetric files are
+/// expanded to full storage.  Throws util::Error on malformed input.
+Csr<double> read_matrix_market(std::istream& in);
+
+/// Convenience: open and parse a file.
+Csr<double> read_matrix_market_file(const std::string& path);
+
+/// Write `a` as a general real coordinate Matrix Market stream (1-based).
+void write_matrix_market(std::ostream& out, const Csr<double>& a);
+
+/// Convenience: write to a file.
+void write_matrix_market_file(const std::string& path, const Csr<double>& a);
+
+}  // namespace hpfcg::sparse

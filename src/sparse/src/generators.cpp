@@ -1,0 +1,189 @@
+#include "hpfcg/sparse/generators.hpp"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "hpfcg/sparse/coo.hpp"
+#include "hpfcg/util/error.hpp"
+#include "hpfcg/util/rng.hpp"
+
+namespace hpfcg::sparse {
+
+Csr<double> laplacian_2d(std::size_t nx, std::size_t ny) {
+  HPFCG_REQUIRE(nx >= 1 && ny >= 1, "laplacian_2d: empty grid");
+  const std::size_t n = nx * ny;
+  Coo<double> coo(n, n);
+  const auto id = [nx](std::size_t x, std::size_t y) { return y * nx + x; };
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const std::size_t i = id(x, y);
+      coo.add(i, i, 4.0);
+      if (x + 1 < nx) coo.add(i, id(x + 1, y), -1.0);
+      if (x > 0) coo.add(i, id(x - 1, y), -1.0);
+      if (y + 1 < ny) coo.add(i, id(x, y + 1), -1.0);
+      if (y > 0) coo.add(i, id(x, y - 1), -1.0);
+    }
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+Csr<double> laplacian_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
+  HPFCG_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "laplacian_3d: empty grid");
+  const std::size_t n = nx * ny * nz;
+  Coo<double> coo(n, n);
+  const auto id = [nx, ny](std::size_t x, std::size_t y, std::size_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t i = id(x, y, z);
+        coo.add(i, i, 6.0);
+        if (x + 1 < nx) coo.add(i, id(x + 1, y, z), -1.0);
+        if (x > 0) coo.add(i, id(x - 1, y, z), -1.0);
+        if (y + 1 < ny) coo.add(i, id(x, y + 1, z), -1.0);
+        if (y > 0) coo.add(i, id(x, y - 1, z), -1.0);
+        if (z + 1 < nz) coo.add(i, id(x, y, z + 1), -1.0);
+        if (z > 0) coo.add(i, id(x, y, z - 1), -1.0);
+      }
+    }
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+Csr<double> tridiagonal(std::size_t n, double diag, double off) {
+  HPFCG_REQUIRE(n >= 1, "tridiagonal: empty matrix");
+  Coo<double> coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, diag);
+    if (i + 1 < n) {
+      coo.add(i, i + 1, off);
+      coo.add(i + 1, i, off);
+    }
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+namespace {
+
+/// Shared helper: symmetric pattern + strict diagonal dominance -> SPD.
+Csr<double> spd_from_pattern(std::size_t n,
+                             const std::set<std::pair<std::size_t, std::size_t>>&
+                                 upper_pattern,
+                             util::Xoshiro256& rng) {
+  Coo<double> coo(n, n);
+  std::vector<double> row_abs_sum(n, 0.0);
+  for (const auto& [i, j] : upper_pattern) {
+    const double v = -rng.uniform(0.1, 1.0);  // negative off-diagonals
+    coo.add_sym(i, j, v);
+    row_abs_sum[i] += std::abs(v);
+    row_abs_sum[j] += std::abs(v);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, row_abs_sum[i] + 1.0);  // strict dominance margin
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+}  // namespace
+
+Csr<double> random_spd(std::size_t n, std::size_t avg_row_nnz,
+                       std::uint64_t seed) {
+  HPFCG_REQUIRE(n >= 1, "random_spd: empty matrix");
+  HPFCG_REQUIRE(avg_row_nnz >= 1, "random_spd: need at least the diagonal");
+  util::Xoshiro256 rng(seed);
+  std::set<std::pair<std::size_t, std::size_t>> pattern;
+  // avg_row_nnz counts diagonal + off-diagonals; each off-diagonal pair
+  // contributes to two rows.
+  const std::size_t target_pairs = n * (avg_row_nnz - 1) / 2;
+  while (pattern.size() < target_pairs && n > 1) {
+    std::size_t i = rng.below(n);
+    std::size_t j = rng.below(n);
+    if (i == j) continue;
+    if (i > j) std::swap(i, j);
+    pattern.insert({i, j});
+  }
+  return spd_from_pattern(n, pattern, rng);
+}
+
+Csr<double> powerlaw_spd(std::size_t n, std::size_t base_degree,
+                         std::size_t hub_count, std::size_t hub_degree,
+                         std::uint64_t seed) {
+  HPFCG_REQUIRE(n >= 2, "powerlaw_spd: matrix too small");
+  HPFCG_REQUIRE(hub_count <= n, "powerlaw_spd: more hubs than rows");
+  util::Xoshiro256 rng(seed);
+  std::set<std::pair<std::size_t, std::size_t>> pattern;
+  // Hubs are clustered — the irregular-grid picture of Section 5.2.2 is a
+  // densely connected *region*, which is exactly what defeats contiguous
+  // equal-atom-count distributions (spreading the hubs evenly would
+  // re-balance the blocks by accident).
+  const std::size_t cluster_start = hub_count >= n ? 0 : n / 4;
+  const auto hub_row = [&](std::size_t h) {
+    return (cluster_start + h) % n;
+  };
+  for (std::size_t h = 0; h < hub_count; ++h) {
+    const std::size_t i = hub_row(h);
+    std::size_t added = 0;
+    while (added < hub_degree) {
+      const std::size_t j = rng.below(n);
+      if (j == i) continue;
+      const auto key = i < j ? std::make_pair(i, j) : std::make_pair(j, i);
+      if (pattern.insert(key).second) ++added;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < base_degree && attempts < 16 * base_degree + 16) {
+      ++attempts;
+      const std::size_t j = rng.below(n);
+      if (j == i) continue;
+      const auto key = i < j ? std::make_pair(i, j) : std::make_pair(j, i);
+      if (pattern.insert(key).second) ++added;
+    }
+  }
+  return spd_from_pattern(n, pattern, rng);
+}
+
+Csr<double> diagonal_spectrum(const std::vector<double>& eigenvalues) {
+  HPFCG_REQUIRE(!eigenvalues.empty(), "diagonal_spectrum: empty spectrum");
+  const std::size_t n = eigenvalues.size();
+  Coo<double> coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    HPFCG_REQUIRE(eigenvalues[i] > 0.0,
+                  "diagonal_spectrum: eigenvalues must be positive for SPD");
+    coo.add(i, i, eigenvalues[i]);
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+Csr<double> figure1_matrix() {
+  // Figure 1's 6×6 matrix, a_ij encoded as 10*i + j (1-based).
+  Coo<double> coo(6, 6);
+  const auto a = [&coo](std::size_t i, std::size_t j) {
+    coo.add(i - 1, j - 1, static_cast<double>(10 * i + j));
+  };
+  a(1, 1); a(1, 2); a(1, 5);
+  a(2, 1); a(2, 2); a(2, 4); a(2, 6);
+  a(3, 1); a(3, 3);
+  a(4, 2); a(4, 4);
+  a(5, 1); a(5, 5);
+  a(6, 2); a(6, 6);
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+double em_dense_entry(std::size_t i, std::size_t j, double range) {
+  if (i == j) return 2.0;
+  const double d = i > j ? static_cast<double>(i - j) : static_cast<double>(j - i);
+  return std::exp(-d / range);
+}
+
+std::vector<double> random_rhs(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  return b;
+}
+
+}  // namespace hpfcg::sparse

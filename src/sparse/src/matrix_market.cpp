@@ -1,0 +1,83 @@
+#include "hpfcg/sparse/matrix_market.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "hpfcg/sparse/coo.hpp"
+#include "hpfcg/util/error.hpp"
+#include "hpfcg/util/str.hpp"
+
+namespace hpfcg::sparse {
+
+Csr<double> read_matrix_market(std::istream& in) {
+  std::string line;
+  HPFCG_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                "matrix market: empty stream");
+  const auto header = util::split_ws(util::to_lower(line));
+  HPFCG_REQUIRE(header.size() >= 4 && header[0] == "%%matrixmarket" &&
+                    header[1] == "matrix" && header[2] == "coordinate",
+                "matrix market: unsupported header: " + line);
+  HPFCG_REQUIRE(header[3] == "real" || header[3] == "integer",
+                "matrix market: only real/integer fields supported");
+  const bool symmetric = header.size() >= 5 && header[4] == "symmetric";
+  if (header.size() >= 5) {
+    HPFCG_REQUIRE(header[4] == "general" || header[4] == "symmetric",
+                  "matrix market: only general/symmetric supported");
+  }
+
+  // Skip comments.
+  do {
+    HPFCG_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                  "matrix market: missing size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  HPFCG_REQUIRE(static_cast<bool>(size_line >> rows >> cols >> nnz),
+                "matrix market: malformed size line: " + line);
+
+  Coo<double> coo(rows, cols);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    std::size_t i = 0, j = 0;
+    double v = 0.0;
+    HPFCG_REQUIRE(static_cast<bool>(in >> i >> j >> v),
+                  "matrix market: truncated entry list");
+    HPFCG_REQUIRE(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                  "matrix market: entry out of range");
+    if (symmetric && i != j) {
+      coo.add_sym(i - 1, j - 1, v);
+    } else {
+      coo.add(i - 1, j - 1, v);
+    }
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+Csr<double> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  HPFCG_REQUIRE(in.good(), "matrix market: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr<double>& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by hpf-cg\n";
+  out << a.n_rows() << ' ' << a.n_cols() << ' ' << a.nnz() << '\n';
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (i + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr<double>& a) {
+  std::ofstream out(path);
+  HPFCG_REQUIRE(out.good(), "matrix market: cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace hpfcg::sparse

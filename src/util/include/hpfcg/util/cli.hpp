@@ -1,0 +1,44 @@
+#pragma once
+// Minimal command-line option parser for the example programs.
+//
+// Supports `--name value` and `--name=value` forms plus boolean flags.
+// Unknown options raise an Error listing the accepted names, so examples
+// are self-documenting.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hpfcg::util {
+
+/// Parses `--key value` / `--key=value` style options.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declare an option with a default; returns the parsed or default value.
+  std::string get(const std::string& name, const std::string& def,
+                  const std::string& help);
+  long get_int(const std::string& name, long def, const std::string& help);
+  double get_double(const std::string& name, double def,
+                    const std::string& help);
+  bool get_flag(const std::string& name, const std::string& help);
+
+  /// True if `--help` was passed; callers should print_help() and exit.
+  [[nodiscard]] bool help_requested() const { return help_; }
+
+  /// Render the accumulated option documentation.
+  [[nodiscard]] std::string help_text(const std::string& program) const;
+
+  /// Throws if any option given on the command line was never declared.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> given_;
+  std::vector<std::string> consumed_;
+  std::vector<std::string> doc_;
+  bool help_ = false;
+};
+
+}  // namespace hpfcg::util

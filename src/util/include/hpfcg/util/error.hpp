@@ -1,0 +1,44 @@
+#pragma once
+// Error handling primitives for the hpf-cg library.
+//
+// Library invariants are checked with HPFCG_REQUIRE (always on; throws
+// hpfcg::util::Error) so that misuse of the public API is diagnosable in
+// release builds.  Internal consistency checks that are cheap enough to keep
+// use HPFCG_ASSERT, which compiles out under NDEBUG.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hpfcg::util {
+
+/// Exception type thrown on violated preconditions anywhere in hpf-cg.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "hpfcg: requirement failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hpfcg::util
+
+#define HPFCG_REQUIRE(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::hpfcg::util::detail::fail(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define HPFCG_ASSERT(cond) ((void)0)
+#else
+#define HPFCG_ASSERT(cond) HPFCG_REQUIRE(cond, "internal assertion")
+#endif

@@ -1,0 +1,86 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// All stochastic workload generators in hpf-cg (random sparse matrices,
+// power-law degree sequences, right-hand sides) draw from Xoshiro256**,
+// seeded through SplitMix64, so that every test and benchmark is exactly
+// reproducible across runs and platforms.
+
+#include <cstdint>
+#include <limits>
+
+namespace hpfcg::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into the Xoshiro state.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Xoshiro256** — fast, high-quality, 256-bit state PRNG.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless method, simplified (negligible bias for
+    // the matrix sizes used here is unacceptable in tests, so we use the
+    // rejection loop to make it exact).
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace hpfcg::util

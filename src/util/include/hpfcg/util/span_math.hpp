@@ -1,0 +1,76 @@
+#pragma once
+// Serial dense-vector kernels on std::span.
+//
+// These are the node-local building blocks the distributed layer composes:
+// SAXPY/SAYPX (the paper's Section 2 vector updates), dot products, norms
+// and fills.  Each returns the flop count it performed so callers can feed
+// the cost model.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::util {
+
+/// y += alpha * x  (the SAXPY of the paper).  Returns flops (2n).
+template <class T>
+std::size_t axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  HPFCG_REQUIRE(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  return 2 * x.size();
+}
+
+/// y = alpha * y + x  (the SAYPX used for p = beta*p + r).  Returns flops.
+template <class T>
+std::size_t aypx(T alpha, std::span<const T> x, std::span<T> y) {
+  HPFCG_REQUIRE(x.size() == y.size(), "aypx: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * y[i] + x[i];
+  return 2 * x.size();
+}
+
+/// Element-wise scale: x *= alpha.  Returns flops (n).
+template <class T>
+std::size_t scale(T alpha, std::span<T> x) {
+  for (auto& v : x) v *= alpha;
+  return x.size();
+}
+
+/// Local (un-merged) inner product.  Returns the partial sum.
+template <class T>
+T dot_local(std::span<const T> x, std::span<const T> y) {
+  HPFCG_REQUIRE(x.size() == y.size(), "dot: length mismatch");
+  T acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// Local squared two-norm.
+template <class T>
+T norm2_sq_local(std::span<const T> x) {
+  return dot_local(x, x);
+}
+
+/// x = value.
+template <class T>
+void fill(std::span<T> x, T value) {
+  for (auto& v : x) v = value;
+}
+
+/// y = x (sizes must match).
+template <class T>
+void copy(std::span<const T> x, std::span<T> y) {
+  HPFCG_REQUIRE(x.size() == y.size(), "copy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+/// max |x_i| over the local span (0 for empty spans).
+template <class T>
+T max_abs_local(std::span<const T> x) {
+  T m{};
+  for (const auto& v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace hpfcg::util

@@ -1,0 +1,21 @@
+#pragma once
+// Small string utilities shared by I/O and reporting code.
+
+#include <string>
+#include <vector>
+
+namespace hpfcg::util {
+
+/// Split `s` on whitespace runs; empty tokens are dropped.
+std::vector<std::string> split_ws(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Lower-case ASCII copy of `s`.
+std::string to_lower(std::string s);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+}  // namespace hpfcg::util

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing helper used by benchmarks and examples.
+
+#include <chrono>
+
+namespace hpfcg::util {
+
+/// Monotonic stopwatch.  Construction starts it; seconds() reads elapsed time.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hpfcg::util

@@ -1,0 +1,90 @@
+#include "hpfcg/util/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hpfcg/util/error.hpp"
+
+namespace hpfcg::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    HPFCG_REQUIRE(arg.rfind("--", 0) == 0, "options must start with --: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      given_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      given_[arg] = argv[++i];
+    } else {
+      given_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::string Cli::get(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  doc_.push_back("  --" + name + " (default: " + def + ")  " + help);
+  consumed_.push_back(name);
+  const auto it = given_.find(name);
+  return it == given_.end() ? def : it->second;
+}
+
+long Cli::get_int(const std::string& name, long def, const std::string& help) {
+  const std::string v = get(name, std::to_string(def), help);
+  try {
+    return std::stol(v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double def,
+                       const std::string& help) {
+  // Never round-trip the default through text: std::to_string flattens
+  // small magnitudes (1e-10 -> "0.000000").
+  std::ostringstream def_text;
+  def_text << def;
+  doc_.push_back("  --" + name + " (default: " + def_text.str() + ")  " +
+                 help);
+  consumed_.push_back(name);
+  const auto it = given_.find(name);
+  if (it == given_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + " expects a number, got '" + it->second +
+                "'");
+  }
+}
+
+bool Cli::get_flag(const std::string& name, const std::string& help) {
+  doc_.push_back("  --" + name + " (flag)  " + help);
+  consumed_.push_back(name);
+  const auto it = given_.find(name);
+  return it != given_.end() && it->second != "false";
+}
+
+std::string Cli::help_text(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& d : doc_) os << d << '\n';
+  return os.str();
+}
+
+void Cli::finish() const {
+  for (const auto& [name, value] : given_) {
+    (void)value;
+    if (std::find(consumed_.begin(), consumed_.end(), name) ==
+        consumed_.end()) {
+      throw Error("unknown option --" + name);
+    }
+  }
+}
+
+}  // namespace hpfcg::util

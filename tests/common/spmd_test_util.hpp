@@ -1,0 +1,35 @@
+#pragma once
+// Shared helpers for SPMD tests.
+//
+// run_spmd(np, body) builds a machine, runs the body on every simulated
+// processor, and returns the runtime for stats assertions.  Gtest
+// assertions inside the body work normally: a fatal failure throws out of
+// the body (gtest exceptions are off by default, so we use EXPECT_* inside
+// SPMD regions and return values/flags for hard failures).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/msg/runtime.hpp"
+
+namespace hpfcg_test {
+
+/// Machine sizes most tests sweep: 1 (degenerate), 2, 3 (non-power-of-two),
+/// 4, 7 (odd), 8.
+inline const std::vector<int>& test_machine_sizes() {
+  static const std::vector<int> sizes{1, 2, 3, 4, 7, 8};
+  return sizes;
+}
+
+inline std::unique_ptr<hpfcg::msg::Runtime> run_spmd(
+    int np, const std::function<void(hpfcg::msg::Process&)>& body,
+    hpfcg::msg::CostParams params = {},
+    hpfcg::msg::Topology topo = hpfcg::msg::Topology::kHypercube) {
+  auto rt = std::make_unique<hpfcg::msg::Runtime>(np, params, topo);
+  rt->run(body);
+  return rt;
+}
+
+}  // namespace hpfcg_test

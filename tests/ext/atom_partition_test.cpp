@@ -1,0 +1,102 @@
+// INDIVISABLE atoms and ATOM:BLOCK / ATOM:CYCLIC distributions
+// (Section 5.2.1): no atom may ever be split across processors, and the
+// cut-point representation must stay NP-sized.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hpfcg/ext/atom_partition.hpp"
+#include "hpfcg/sparse/generators.hpp"
+
+using hpfcg::ext::atom_block;
+using hpfcg::ext::atom_cyclic;
+using hpfcg::ext::count_split_atoms;
+using hpfcg::hpf::Distribution;
+
+namespace {
+
+class AtomPartitionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtomPartitionTest, AtomBlockNeverSplitsAnAtom) {
+  const int np = GetParam();
+  const auto a = hpfcg::sparse::powerlaw_spd(200, 3, 3, 60, 11);
+  const auto part = atom_block(a.row_ptr(), np);
+  EXPECT_EQ(count_split_atoms(a.row_ptr(), *part.nnz_dist), 0u);
+  // The INDIVISABLE representation: np+1 replicated cut points, "a small
+  // array in the size of the number of processors".
+  EXPECT_EQ(part.nnz_dist->cuts().size(), static_cast<std::size_t>(np) + 1);
+  EXPECT_EQ(part.atom_dist->size(), a.n_rows());
+  EXPECT_EQ(part.nnz_dist->size(), a.nnz());
+}
+
+TEST_P(AtomPartitionTest, AtomBlockMatchesHpfBlockOverAtoms) {
+  const int np = GetParam();
+  const auto a = hpfcg::sparse::laplacian_2d(10, 10);
+  const auto part = atom_block(a.row_ptr(), np);
+  const auto hpf_block = Distribution::block(a.n_rows(), np);
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    EXPECT_EQ(part.atom_dist->owner(i), hpf_block.owner(i));
+  }
+}
+
+TEST_P(AtomPartitionTest, NnzOwnershipFollowsAtomOwnership) {
+  const int np = GetParam();
+  const auto a = hpfcg::sparse::random_spd(120, 5, 23);
+  for (const auto& part : {atom_block(a.row_ptr(), np)}) {
+    for (std::size_t row = 0; row < a.n_rows(); ++row) {
+      const int atom_owner = part.atom_dist->owner(row);
+      for (std::size_t k = a.row_ptr()[row]; k < a.row_ptr()[row + 1]; ++k) {
+        EXPECT_EQ(part.nnz_dist->owner(k), atom_owner);
+      }
+    }
+  }
+}
+
+TEST_P(AtomPartitionTest, AtomCyclicNeverSplitsAnAtom) {
+  const int np = GetParam();
+  const auto a = hpfcg::sparse::powerlaw_spd(150, 2, 2, 40, 5);
+  const auto part = atom_cyclic(a.row_ptr(), np);
+  EXPECT_EQ(count_split_atoms(a.row_ptr(), *part.nnz_dist), 0u);
+  // Atom ownership is round-robin and nnz ownership follows it.
+  for (std::size_t row = 0; row < a.n_rows(); ++row) {
+    EXPECT_EQ(part.atom_dist->owner(row),
+              static_cast<int>(row % static_cast<std::size_t>(np)));
+    for (std::size_t k = a.row_ptr()[row]; k < a.row_ptr()[row + 1]; ++k) {
+      EXPECT_EQ(part.nnz_dist->owner(k), part.atom_dist->owner(row));
+    }
+  }
+}
+
+TEST_P(AtomPartitionTest, FlatHpfBlockDoesSplitAtoms) {
+  // The HPF-1 baseline the extension fixes: BLOCK over the nnz space splits
+  // rows whenever a cut lands inside one.  25 atoms of weight 4 guarantee
+  // at least one of BLOCK's cut points (multiples of ceil(100/np)) falls
+  // strictly inside an atom for every tested np.
+  const int np = GetParam();
+  if (np == 1) GTEST_SKIP() << "one processor cannot split anything";
+  std::vector<std::size_t> ptr(26);
+  for (std::size_t i = 0; i < ptr.size(); ++i) ptr[i] = 4 * i;
+  const auto flat = Distribution::block(ptr.back(), np);
+  EXPECT_GT(count_split_atoms(ptr, flat), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, AtomPartitionTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(AtomPartition, EmptyAtomsAreHandled) {
+  // Pointer array with empty atoms (rows with no nonzeros).
+  const std::vector<std::size_t> ptr = {0, 0, 3, 3, 5, 5};
+  const auto part = atom_block(ptr, 2);
+  EXPECT_EQ(count_split_atoms(ptr, *part.nnz_dist), 0u);
+  EXPECT_EQ(part.atom_dist->size(), 5u);
+  EXPECT_EQ(part.nnz_dist->size(), 5u);
+}
+
+TEST(AtomPartition, NnzCutsDeriveThroughPointerArray) {
+  const std::vector<std::size_t> ptr = {0, 2, 6, 7, 10};
+  const auto cuts = hpfcg::ext::nnz_cuts_from_atom_cuts(ptr, {0, 2, 4});
+  EXPECT_EQ(cuts, (std::vector<std::size_t>{0, 6, 10}));
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Load-balancing partitioners (Section 5.2.2): the optimal contiguous
+// bottleneck partition must never be worse than the greedy heuristic, both
+// must respect atom boundaries, and on irregular matrices both must beat
+// the uniform ATOM:BLOCK distribution.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "hpfcg/ext/balanced_partition.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/util/rng.hpp"
+
+using hpfcg::ext::atom_weights;
+using hpfcg::ext::bottleneck;
+using hpfcg::ext::greedy_nnz_cuts;
+using hpfcg::ext::optimal_nnz_cuts;
+using hpfcg::ext::Partitioner;
+
+namespace {
+
+/// Exact optimum by exhaustive search (small inputs only).
+std::size_t brute_force_bottleneck(const std::vector<std::size_t>& w, int np) {
+  const std::size_t n = w.size();
+  if (np <= 1) return std::accumulate(w.begin(), w.end(), std::size_t{0});
+  std::size_t best = static_cast<std::size_t>(-1);
+  // Choose np-1 cut positions in [0, n]; recursion keeps it simple.
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(np) + 1, 0);
+  cuts.back() = n;
+  const std::function<void(int, std::size_t)> rec = [&](int part,
+                                                        std::size_t from) {
+    if (part == np) {
+      best = std::min(best, bottleneck(w, cuts));
+      return;
+    }
+    for (std::size_t c = from; c <= n; ++c) {
+      cuts[static_cast<std::size_t>(part)] = c;
+      rec(part + 1, c);
+    }
+  };
+  rec(1, 0);
+  return best;
+}
+
+TEST(BalancedPartition, AtomWeightsFromPointerArray) {
+  const std::vector<std::size_t> ptr = {0, 2, 2, 7, 9};
+  EXPECT_EQ(atom_weights(ptr), (std::vector<std::size_t>{2, 0, 5, 2}));
+}
+
+TEST(BalancedPartition, OptimalMatchesBruteForceOnRandomInstances) {
+  hpfcg::util::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 3 + rng.below(9);       // 3..11 atoms
+    const int np = 1 + static_cast<int>(rng.below(5));  // 1..5 parts
+    std::vector<std::size_t> w(n);
+    for (auto& x : w) x = rng.below(20);
+    const auto cuts = optimal_nnz_cuts(w, np);
+    EXPECT_EQ(bottleneck(w, cuts), brute_force_bottleneck(w, np))
+        << "trial " << trial << " n=" << n << " np=" << np;
+  }
+}
+
+TEST(BalancedPartition, OptimalNeverWorseThanGreedy) {
+  hpfcg::util::Xoshiro256 rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 50 + rng.below(200);
+    const int np = 2 + static_cast<int>(rng.below(15));
+    std::vector<std::size_t> w(n);
+    for (auto& x : w) x = rng.below(100);
+    const auto greedy = greedy_nnz_cuts(w, np);
+    const auto opt = optimal_nnz_cuts(w, np);
+    EXPECT_LE(bottleneck(w, opt), bottleneck(w, greedy)) << "trial " << trial;
+    // And never better than the averaging lower bound.
+    const std::size_t total = std::accumulate(w.begin(), w.end(),
+                                              std::size_t{0});
+    const std::size_t lower =
+        (total + static_cast<std::size_t>(np) - 1) /
+        static_cast<std::size_t>(np);
+    EXPECT_GE(bottleneck(w, opt), std::min(lower, total));
+  }
+}
+
+TEST(BalancedPartition, CutsAreWellFormed) {
+  const std::vector<std::size_t> w = {5, 1, 1, 1, 8, 1, 1};
+  for (const auto& cuts : {greedy_nnz_cuts(w, 3), optimal_nnz_cuts(w, 3)}) {
+    ASSERT_EQ(cuts.size(), 4u);
+    EXPECT_EQ(cuts.front(), 0u);
+    EXPECT_EQ(cuts.back(), w.size());
+    EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+  }
+}
+
+TEST(BalancedPartition, MorePartsThanAtomsYieldsEmptyParts) {
+  const std::vector<std::size_t> w = {4, 4};
+  const auto cuts = optimal_nnz_cuts(w, 5);
+  ASSERT_EQ(cuts.size(), 6u);
+  EXPECT_EQ(bottleneck(w, cuts), 4u);
+}
+
+TEST(BalancedPartition, BalancedBeatsUniformOnPowerlaw) {
+  // The Section 5.2.2 claim: with irregular sparsity, the load-balancing
+  // partitioner evens out the nonzeros that uniform atom blocks cannot.
+  const auto a = hpfcg::sparse::powerlaw_spd(600, 2, 5, 150, 17);
+  const auto w = atom_weights(a.row_ptr());
+  const int np = 8;
+  const auto uniform =
+      hpfcg::ext::partition(a.row_ptr(), np, Partitioner::kUniformAtomBlock);
+  const auto balanced =
+      hpfcg::ext::partition(a.row_ptr(), np, Partitioner::kBalancedOptimal);
+
+  const auto max_nnz = [&](const hpfcg::ext::AtomPartition& part) {
+    std::size_t worst = 0;
+    for (int r = 0; r < np; ++r) {
+      worst = std::max(worst, part.nnz_dist->local_count(r));
+    }
+    return worst;
+  };
+  EXPECT_LT(max_nnz(balanced), max_nnz(uniform));
+  // Balanced bottleneck is within 2x of the averaging lower bound (hubs
+  // permitting — a single hub row bounds it from below).
+  const std::size_t total = a.nnz();
+  EXPECT_LE(max_nnz(balanced),
+            std::max(2 * total / np, *std::max_element(w.begin(), w.end())));
+}
+
+TEST(BalancedPartition, PartitionProducesConsistentPair) {
+  const auto a = hpfcg::sparse::random_spd(100, 5, 3);
+  for (const auto which :
+       {Partitioner::kUniformAtomBlock, Partitioner::kBalancedGreedy,
+        Partitioner::kBalancedOptimal}) {
+    const auto part = hpfcg::ext::partition(a.row_ptr(), 4, which);
+    EXPECT_EQ(part.atom_dist->size(), a.n_rows());
+    EXPECT_EQ(part.nnz_dist->size(), a.nnz());
+    EXPECT_EQ(
+        hpfcg::ext::count_split_atoms(a.row_ptr(), *part.nnz_dist), 0u);
+    // nnz ownership follows atom ownership.
+    for (std::size_t row = 0; row < a.n_rows(); ++row) {
+      for (std::size_t k = a.row_ptr()[row]; k < a.row_ptr()[row + 1]; ++k) {
+        EXPECT_EQ(part.nnz_dist->owner(k), part.atom_dist->owner(row));
+      }
+    }
+    EXPECT_NE(hpfcg::ext::partitioner_name(which), nullptr);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// ON PROCESSOR(f(i)) iteration mapping (Section 5.1).
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "hpfcg/ext/on_processor.hpp"
+#include "hpfcg/hpf/distribution.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::ext::BlockMap;
+using hpfcg::ext::CyclicMap;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+TEST(OnProcessor, EveryIterationRunsOnExactlyTheMappedRank) {
+  const std::size_t n = 37;
+  for (const int np : test_machine_sizes()) {
+    std::vector<int> executed_by(n, -1);
+    std::mutex mu;
+    run_spmd(np, [&](Process& p) {
+      hpfcg::ext::on_processor(
+          p, n, [np](std::size_t i) { return static_cast<int>((i * 3) % np); },
+          [&](std::size_t i) {
+            std::lock_guard<std::mutex> lock(mu);
+            EXPECT_EQ(executed_by[i], -1) << "iteration ran twice";
+            executed_by[i] = p.rank();
+          });
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(executed_by[i], static_cast<int>((i * 3) % np)) << "np=" << np;
+    }
+  }
+}
+
+TEST(OnProcessor, BlockMapMatchesBlockDistribution) {
+  const std::size_t n = 26;
+  const int np = 4;
+  const BlockMap map{n, np};
+  const auto dist = hpfcg::hpf::Distribution::block(n, np);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(map(i), dist.owner(i)) << "i=" << i;
+  }
+}
+
+TEST(OnProcessor, CyclicMapMatchesCyclicDistribution) {
+  const std::size_t n = 19;
+  const int np = 3;
+  const CyclicMap map{np};
+  const auto dist = hpfcg::hpf::Distribution::cyclic(n, np);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(map(i), dist.owner(i)) << "i=" << i;
+  }
+}
+
+TEST(OnProcessor, OutOfMachineMappingRejected) {
+  run_spmd(2, [](Process& p) {
+    EXPECT_THROW(hpfcg::ext::on_processor(
+                     p, 4, [](std::size_t) { return 5; },
+                     [](std::size_t) {}),
+                 hpfcg::util::Error);
+  });
+}
+
+TEST(OnProcessor, NoRuntimeCommunication) {
+  // The proposal's point: the mapping is evaluated locally, "without any
+  // runtime overhead" — no inspector messages.
+  auto rt = run_spmd(4, [](Process& p) {
+    hpfcg::ext::on_processor(p, 100, CyclicMap{4}, [](std::size_t) {});
+  });
+  EXPECT_EQ(rt->total_stats().messages_sent, 0u);
+}
+
+}  // namespace

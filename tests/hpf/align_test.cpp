@@ -1,0 +1,87 @@
+// Affine ALIGN: induced ownership must follow the template through the
+// subscript map, keeping mapped accesses local.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hpfcg/hpf/align.hpp"
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::align_affine;
+using hpfcg::hpf::align_affine_ptr;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+
+namespace {
+
+TEST(AlignAffine, IdentityAlignmentReproducesTemplate) {
+  const auto tmpl = Distribution::block(24, 4);
+  const auto d = align_affine(tmpl, 24, 1, 0);
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(d.owner(i), tmpl.owner(i));
+  }
+}
+
+TEST(AlignAffine, StridedAlignmentFollowsTemplate) {
+  // x(i) WITH T(2*i): x element i lives with template element 2i.
+  const auto tmpl = Distribution::block(40, 4);
+  const auto d = align_affine(tmpl, 20, 2, 0);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(d.owner(i), tmpl.owner(2 * i));
+  }
+}
+
+TEST(AlignAffine, OffsetAlignment) {
+  // x(i) WITH T(i + 5).
+  const auto tmpl = Distribution::cyclic(30, 3);
+  const auto d = align_affine(tmpl, 25, 1, 5);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(d.owner(i), tmpl.owner(i + 5));
+  }
+}
+
+TEST(AlignAffine, ReversalAlignment) {
+  // x(i) WITH T(n-1-i): the array lives back-to-front on the template.
+  const std::size_t n = 16;
+  const auto tmpl = Distribution::block(n, 4);
+  const auto d = align_affine(tmpl, n, -1, static_cast<long>(n) - 1);
+  EXPECT_EQ(d.owner(0), tmpl.owner(n - 1));
+  EXPECT_EQ(d.owner(n - 1), tmpl.owner(0));
+}
+
+TEST(AlignAffine, OutOfTemplateRejected) {
+  const auto tmpl = Distribution::block(10, 2);
+  EXPECT_THROW((void)align_affine(tmpl, 10, 2, 0), hpfcg::util::Error);
+  EXPECT_THROW((void)align_affine(tmpl, 10, 1, 5), hpfcg::util::Error);
+  EXPECT_THROW((void)align_affine(tmpl, 10, 0, 0), hpfcg::util::Error);
+  EXPECT_THROW((void)align_affine(tmpl, 10, -1, 5), hpfcg::util::Error);
+}
+
+TEST(AlignAffine, MappedAccessIsLocalInSpmd) {
+  // Every rank can read x(i) next to T(2i+1) without communication.
+  const std::size_t tn = 41;
+  const std::size_t xn = 20;
+  run_spmd(4, [&](Process& p) {
+    auto tmpl = std::make_shared<const Distribution>(
+        Distribution::block(tn, p.nprocs()));
+    DistributedVector<double> t(p, tmpl);
+    t.set_from([](std::size_t g) { return static_cast<double>(g); });
+    DistributedVector<double> x(p, align_affine_ptr(*tmpl, xn, 2, 1));
+    x.set_from([](std::size_t g) { return 100.0 + static_cast<double>(g); });
+
+    // owner(x_i) == owner(T_{2i+1}) means both are locally addressable.
+    for (std::size_t i = 0; i < xn; ++i) {
+      if (x.owns(i)) {
+        EXPECT_TRUE(t.owns(2 * i + 1));
+        EXPECT_DOUBLE_EQ(t.at_global(2 * i + 1) * 0 + x.at_global(i),
+                         100.0 + static_cast<double>(i));
+      }
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Textual distribution-spec parsing ("DISTRIBUTE p(BLOCK)" etc.).
+
+#include <gtest/gtest.h>
+
+#include "hpfcg/hpf/directives.hpp"
+#include "hpfcg/util/error.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::is_valid_distribution_spec;
+using hpfcg::hpf::parse_distribution_spec;
+
+namespace {
+
+TEST(Directives, ParsesEveryFormat) {
+  EXPECT_TRUE(parse_distribution_spec("BLOCK", 20, 4) ==
+              Distribution::block(20, 4));
+  EXPECT_TRUE(parse_distribution_spec("BLOCK(5)", 20, 4) ==
+              Distribution::block_size(20, 4, 5));
+  EXPECT_TRUE(parse_distribution_spec("CYCLIC", 20, 4) ==
+              Distribution::cyclic(20, 4));
+  EXPECT_TRUE(parse_distribution_spec("CYCLIC(3)", 20, 4) ==
+              Distribution::cyclic_size(20, 4, 3));
+}
+
+TEST(Directives, CaseAndWhitespaceInsensitive) {
+  EXPECT_TRUE(parse_distribution_spec("  block ", 12, 3) ==
+              Distribution::block(12, 3));
+  EXPECT_TRUE(parse_distribution_spec("Cyclic( 2 )", 12, 3) ==
+              Distribution::cyclic_size(12, 3, 2));
+}
+
+TEST(Directives, ThePaperBlockIdiom) {
+  // BLOCK((n+NP-1)/NP) from Figure 2's row-pointer distribution.
+  const std::size_t n = 13;
+  const int np = 4;
+  const std::size_t k = (n + np - 1) / np;
+  const auto d =
+      parse_distribution_spec("BLOCK(" + std::to_string(k) + ")", n, np);
+  EXPECT_EQ(d.owner(n - 1), np - 1);
+}
+
+TEST(Directives, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_distribution_spec("", 10, 2), hpfcg::util::Error);
+  EXPECT_THROW((void)parse_distribution_spec("BLOK", 10, 2),
+               hpfcg::util::Error);
+  EXPECT_THROW((void)parse_distribution_spec("BLOCK(", 10, 2),
+               hpfcg::util::Error);
+  EXPECT_THROW((void)parse_distribution_spec("BLOCK()", 10, 2),
+               hpfcg::util::Error);
+  EXPECT_THROW((void)parse_distribution_spec("BLOCK(0)", 10, 2),
+               hpfcg::util::Error);
+  EXPECT_THROW((void)parse_distribution_spec("BLOCK(2x)", 10, 2),
+               hpfcg::util::Error);
+  EXPECT_THROW((void)parse_distribution_spec("BLOCK(2)", 10, 2),
+               hpfcg::util::Error);  // 2*2 < 10: infeasible
+}
+
+TEST(Directives, Validation) {
+  EXPECT_TRUE(is_valid_distribution_spec("BLOCK"));
+  EXPECT_TRUE(is_valid_distribution_spec("cyclic(7)"));
+  EXPECT_FALSE(is_valid_distribution_spec("INDIRECT"));
+  EXPECT_FALSE(is_valid_distribution_spec("BLOCK(-1)"));
+  EXPECT_FALSE(is_valid_distribution_spec(""));
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Distribution invariants: every global index has exactly one owner, the
+// owner/local/global mappings round-trip, counts are consistent, and each
+// HPF kind matches its specification.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/util/error.hpp"
+
+using hpfcg::hpf::Distribution;
+
+namespace {
+
+/// Exhaustive consistency sweep every distribution must satisfy.
+void check_invariants(const Distribution& d) {
+  const std::size_t n = d.size();
+  const int np = d.nprocs();
+
+  // counts sum to n.
+  std::size_t total = 0;
+  for (int r = 0; r < np; ++r) total += d.local_count(r);
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(d.counts().size(), static_cast<std::size_t>(np));
+
+  // owner/local_index/global_index round-trip for every element.
+  for (std::size_t i = 0; i < n; ++i) {
+    const int r = d.owner(i);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, np);
+    const std::size_t li = d.local_index(i);
+    ASSERT_LT(li, d.local_count(r));
+    EXPECT_EQ(d.global_index(r, li), i);
+  }
+
+  // Every (rank, local) slot maps to a distinct global index owned by rank.
+  std::vector<bool> seen(n, false);
+  for (int r = 0; r < np; ++r) {
+    std::size_t prev_global = 0;
+    for (std::size_t li = 0; li < d.local_count(r); ++li) {
+      const std::size_t g = d.global_index(r, li);
+      ASSERT_LT(g, n);
+      EXPECT_FALSE(seen[g]);
+      seen[g] = true;
+      EXPECT_EQ(d.owner(g), r);
+      EXPECT_EQ(d.local_index(g), li);
+      if (li > 0) {
+        EXPECT_GT(g, prev_global);  // local order = global order
+      }
+      prev_global = g;
+    }
+  }
+
+  if (d.contiguous()) {
+    for (int r = 0; r < np; ++r) {
+      const auto [lo, hi] = d.local_range(r);
+      EXPECT_EQ(hi - lo, d.local_count(r));
+      for (std::size_t i = lo; i < hi; ++i) EXPECT_EQ(d.owner(i), r);
+    }
+  }
+}
+
+class DistributionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(DistributionSweep, Block) {
+  const auto [n, np] = GetParam();
+  check_invariants(Distribution::block(n, np));
+}
+
+TEST_P(DistributionSweep, Cyclic) {
+  const auto [n, np] = GetParam();
+  check_invariants(Distribution::cyclic(n, np));
+}
+
+TEST_P(DistributionSweep, BlockK) {
+  const auto [n, np] = GetParam();
+  const std::size_t k =
+      n == 0 ? 1 : (n + static_cast<std::size_t>(np) - 1) /
+                       static_cast<std::size_t>(np);
+  check_invariants(Distribution::block_size(n, np, k));
+}
+
+TEST_P(DistributionSweep, CyclicK) {
+  const auto [n, np] = GetParam();
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+    check_invariants(Distribution::cyclic_size(n, np, k));
+  }
+}
+
+TEST_P(DistributionSweep, Cuts) {
+  const auto [n, np] = GetParam();
+  // Skewed cut points: rank r gets roughly r-proportional share.
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(np) + 1, 0);
+  const std::size_t denom = static_cast<std::size_t>(np) *
+                            (static_cast<std::size_t>(np) + 1) / 2;
+  std::size_t acc = 0;
+  for (int r = 0; r < np; ++r) {
+    acc += n * static_cast<std::size_t>(r + 1) / denom;
+    cuts[static_cast<std::size_t>(r) + 1] = std::min(acc, n);
+  }
+  cuts.back() = n;
+  check_invariants(Distribution::from_cuts(n, cuts));
+}
+
+TEST_P(DistributionSweep, Indirect) {
+  const auto [n, np] = GetParam();
+  std::vector<int> owner(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    owner[i] = static_cast<int>((i * 7 + 3) % static_cast<std::size_t>(np));
+  }
+  check_invariants(Distribution::indirect(np, owner));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DistributionSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 5, 16, 17, 100,
+                                                      257),
+                       ::testing::Values(1, 2, 3, 4, 7, 8)));
+
+TEST(Distribution, BlockMatchesHpfDefinition) {
+  // HPF BLOCK over n=10, np=4: blocks of ceil(10/4)=3 -> 3,3,3,1.
+  const auto d = Distribution::block(10, 4);
+  EXPECT_EQ(d.local_count(0), 3u);
+  EXPECT_EQ(d.local_count(1), 3u);
+  EXPECT_EQ(d.local_count(2), 3u);
+  EXPECT_EQ(d.local_count(3), 1u);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(9), 3);
+  EXPECT_EQ(d.name(), "BLOCK");
+}
+
+TEST(Distribution, BlockKPlacesLastElementOnLastProcessor) {
+  // The paper's BLOCK((n+NP-1)/NP) idiom "to ensure that the (n+1)'th
+  // element of row is placed in the last processor": n+1 pointer entries
+  // over NP ranks.
+  const std::size_t n = 12;  // 13 pointer entries
+  const int np = 4;
+  const std::size_t k = (n + 1 + np - 1) / np;  // ceil(13/4) = 4
+  const auto d = Distribution::block_size(n + 1, np, k);
+  EXPECT_EQ(d.owner(n), np - 1);  // last pointer entry on last rank
+  EXPECT_EQ(d.name(), "BLOCK(4)");
+}
+
+TEST(Distribution, CyclicDealsRoundRobin) {
+  const auto d = Distribution::cyclic(10, 3);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(1), 1);
+  EXPECT_EQ(d.owner(2), 2);
+  EXPECT_EQ(d.owner(3), 0);
+  EXPECT_EQ(d.local_index(3), 1u);
+  EXPECT_EQ(d.local_count(0), 4u);
+  EXPECT_EQ(d.local_count(1), 3u);
+  EXPECT_FALSE(d.contiguous());
+}
+
+TEST(Distribution, CyclicKDealsBlocks) {
+  const auto d = Distribution::cyclic_size(10, 2, 3);
+  // Blocks [0,3) r0, [3,6) r1, [6,9) r0, [9,10) r1.
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(3), 1);
+  EXPECT_EQ(d.owner(6), 0);
+  EXPECT_EQ(d.owner(9), 1);
+  EXPECT_EQ(d.local_count(0), 6u);
+  EXPECT_EQ(d.local_count(1), 4u);
+  EXPECT_EQ(d.local_index(7), 4u);  // second local block, offset 1
+}
+
+TEST(Distribution, CutsExposeCutArray) {
+  const auto d = Distribution::from_cuts(10, {0, 2, 2, 10});
+  EXPECT_EQ(d.nprocs(), 3);
+  EXPECT_EQ(d.local_count(1), 0u);  // empty middle rank
+  EXPECT_EQ(d.owner(2), 2);
+  EXPECT_EQ(d.cuts().size(), 4u);
+}
+
+TEST(Distribution, EqualityComparesMappings) {
+  const auto a = Distribution::block(12, 4);
+  const auto b = Distribution::block_size(12, 4, 3);  // same mapping
+  const auto c = Distribution::cyclic(12, 4);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  // from_cuts with block boundaries equals block too.
+  const auto d = Distribution::from_cuts(12, {0, 3, 6, 9, 12});
+  EXPECT_TRUE(a == d);
+}
+
+TEST(Distribution, Validation) {
+  EXPECT_THROW(Distribution::block(10, 0), hpfcg::util::Error);
+  EXPECT_THROW(Distribution::block_size(10, 2, 4),
+               hpfcg::util::Error);  // 2*4 < 10
+  EXPECT_THROW(Distribution::from_cuts(10, {0, 5}), hpfcg::util::Error);
+  EXPECT_THROW(Distribution::from_cuts(10, {0, 7, 5, 10}),
+               hpfcg::util::Error);
+  EXPECT_THROW(Distribution::indirect(2, {0, 1, 2}), hpfcg::util::Error);
+  const auto d = Distribution::block(10, 2);
+  EXPECT_THROW((void)d.owner(10), hpfcg::util::Error);
+  EXPECT_THROW((void)d.local_count(2), hpfcg::util::Error);
+  EXPECT_THROW((void)Distribution::cyclic(10, 2).local_range(0),
+               hpfcg::util::Error);
+}
+
+}  // namespace

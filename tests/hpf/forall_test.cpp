@@ -1,0 +1,81 @@
+// FORALL / INDEPENDENT-DO owner-computes lowering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hpfcg/hpf/forall.hpp"
+#include "hpfcg/hpf/processors.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+
+namespace {
+
+TEST(Forall, EveryIterationRunsExactlyOnce) {
+  const std::size_t n = 47;
+  for (const int np : hpfcg_test::test_machine_sizes()) {
+    std::vector<int> hits(n, 0);
+    std::mutex mu;
+    run_spmd(np, [&](Process& p) {
+      const auto dist = Distribution::cyclic(n, p.nprocs());
+      hpfcg::hpf::forall(p, dist, [&](std::size_t g, std::size_t /*l*/) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++hits[g];
+      });
+    });
+    for (std::size_t g = 0; g < n; ++g) EXPECT_EQ(hits[g], 1) << "np=" << np;
+  }
+}
+
+TEST(Forall, LocalIndexMatchesDistribution) {
+  run_spmd(4, [](Process& p) {
+    const auto dist = Distribution::block(32, 4);
+    hpfcg::hpf::forall(p, dist, [&](std::size_t g, std::size_t l) {
+      EXPECT_EQ(dist.owner(g), p.rank());
+      EXPECT_EQ(dist.local_index(g), l);
+    });
+  });
+}
+
+TEST(Forall, ForallReduceAccumulatesOwnedIterations) {
+  const std::size_t n = 40;
+  run_spmd(4, [&](Process& p) {
+    const auto dist = Distribution::block(n, 4);
+    const long local = hpfcg::hpf::forall_reduce<long>(
+        p, dist, 0L,
+        [](std::size_t g, std::size_t) { return static_cast<long>(g); },
+        [](long a, long b) { return a + b; });
+    const long total = p.allreduce(local);
+    EXPECT_EQ(total, static_cast<long>(n * (n - 1) / 2));
+  });
+}
+
+TEST(Forall, IndependentDoIsEquivalent) {
+  const std::size_t n = 21;
+  run_spmd(3, [&](Process& p) {
+    const auto dist = Distribution::block(n, 3);
+    std::size_t count = 0;
+    hpfcg::hpf::independent_do(p, dist,
+                               [&](std::size_t, std::size_t) { ++count; });
+    EXPECT_EQ(count, dist.local_count(p.rank()));
+  });
+}
+
+TEST(Processors, ArrangementValidatesDeclaredSize) {
+  run_spmd(4, [](Process& p) {
+    hpfcg::hpf::ProcessorArrangement procs(p, "PROCS");
+    EXPECT_EQ(procs.size(), 4);
+    EXPECT_EQ(procs.name(), "PROCS");
+    hpfcg::hpf::ProcessorArrangement declared(p, "PROCS", 4);
+    EXPECT_EQ(declared.size(), 4);
+    EXPECT_THROW(hpfcg::hpf::ProcessorArrangement(p, "BAD", 5),
+                 hpfcg::util::Error);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// MAXVAL / MINVAL / MAXLOC / MINLOC intrinsics across distributions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "hpfcg/sparse/csr.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+class LocIntrinsicsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocIntrinsicsTest, MaxvalMinval) {
+  const int np = GetParam();
+  const std::size_t n = 41;
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::cyclic(n, np)));
+    x.set_from([n](std::size_t g) {
+      return g == 17 ? 99.0 : (g == 29 ? -50.0 : static_cast<double>(g % 10));
+    });
+    EXPECT_DOUBLE_EQ(hpfcg::hpf::maxval(x), 99.0);
+    EXPECT_DOUBLE_EQ(hpfcg::hpf::minval(x), -50.0);
+  });
+}
+
+TEST_P(LocIntrinsicsTest, MaxlocMinlocFindGlobalIndices) {
+  const int np = GetParam();
+  const std::size_t n = 53;
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(n, np)));
+    x.set_from([](std::size_t g) {
+      return g == 37 ? 7.5 : (g == 11 ? -7.5 : 0.0);
+    });
+    const auto mx = hpfcg::hpf::maxloc(x);
+    EXPECT_DOUBLE_EQ(mx.value, 7.5);
+    EXPECT_EQ(mx.index, 37u);
+    const auto mn = hpfcg::hpf::minloc(x);
+    EXPECT_DOUBLE_EQ(mn.value, -7.5);
+    EXPECT_EQ(mn.index, 11u);
+  });
+}
+
+TEST_P(LocIntrinsicsTest, TiesResolveToLowestIndex) {
+  const int np = GetParam();
+  const std::size_t n = 24;
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::cyclic(n, np)));
+    hpfcg::hpf::fill(x, 1.0);  // every element ties
+    const auto mx = hpfcg::hpf::maxloc(x);
+    EXPECT_EQ(mx.index, 0u);
+    const auto mn = hpfcg::hpf::minloc(x);
+    EXPECT_EQ(mn.index, 0u);
+  });
+}
+
+TEST_P(LocIntrinsicsTest, EmptyShardsDoNotPollute) {
+  const int np = GetParam();
+  // n < np: some shards are empty and must not inject sentinels.
+  const std::size_t n = 2;
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(n, np)));
+    x.set_from([](std::size_t g) { return g == 0 ? -3.0 : 4.0; });
+    EXPECT_DOUBLE_EQ(hpfcg::hpf::maxval(x), 4.0);
+    EXPECT_DOUBLE_EQ(hpfcg::hpf::minval(x), -3.0);
+    EXPECT_EQ(hpfcg::hpf::maxloc(x).index, 1u);
+    EXPECT_EQ(hpfcg::hpf::minloc(x).index, 0u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, LocIntrinsicsTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+TEST(CsrFromDense, RoundTripsThroughDense) {
+  const std::vector<double> dense = {1, 0, 2,  //
+                                     0, 0, 0,  //
+                                     3, 4, 0};
+  const auto a = hpfcg::sparse::Csr<double>::from_dense(3, 3, dense);
+  EXPECT_EQ(a.nnz(), 4u);
+  EXPECT_EQ(a.to_dense(), dense);
+  EXPECT_EQ(a.row_nnz(1), 0u);
+}
+
+}  // namespace

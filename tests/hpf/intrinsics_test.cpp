@@ -1,0 +1,150 @@
+// HPF intrinsics over distributed vectors: DOT_PRODUCT, SUM, norms, SAXPY /
+// SAYPX, and the communication counts the paper attributes to each.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+class IntrinsicsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntrinsicsTest, DotProductMatchesSerial) {
+  const int np = GetParam();
+  const std::size_t n = 123;
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(n, p.nprocs())));
+    auto y = DistributedVector<double>::aligned_like(x);
+    x.set_from([](std::size_t g) { return 0.5 + static_cast<double>(g % 7); });
+    y.set_from([](std::size_t g) { return 1.0 - static_cast<double>(g % 3); });
+    double expect = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      expect += (0.5 + static_cast<double>(g % 7)) *
+                (1.0 - static_cast<double>(g % 3));
+    }
+    EXPECT_NEAR(hpfcg::hpf::dot_product(x, y), expect, 1e-9);
+  });
+}
+
+TEST_P(IntrinsicsTest, SumAndNormAndMaxAbs) {
+  const int np = GetParam();
+  const std::size_t n = 64;
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(n, p.nprocs())));
+    x.set_from([n](std::size_t g) {
+      return g == n / 2 ? -100.0 : static_cast<double>(g);
+    });
+    double esum = 0.0, esq = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      const double v = g == n / 2 ? -100.0 : static_cast<double>(g);
+      esum += v;
+      esq += v * v;
+    }
+    EXPECT_NEAR(hpfcg::hpf::sum(x), esum, 1e-9);
+    EXPECT_NEAR(hpfcg::hpf::norm2(x), std::sqrt(esq), 1e-9);
+    EXPECT_DOUBLE_EQ(hpfcg::hpf::max_abs(x), 100.0);
+  });
+}
+
+TEST_P(IntrinsicsTest, SaxpyIsCommunicationFree) {
+  const int np = GetParam();
+  const std::size_t n = 200;
+  auto rt = run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(n, p.nprocs())));
+    auto y = DistributedVector<double>::aligned_like(x);
+    x.set_from([](std::size_t g) { return static_cast<double>(g); });
+    y.set_from([](std::size_t g) { return static_cast<double>(2 * g); });
+    hpfcg::hpf::axpy(0.5, x, y);  // y = 2g + 0.5g
+    for (std::size_t l = 0; l < y.local().size(); ++l) {
+      EXPECT_DOUBLE_EQ(y.local()[l], 2.5 * static_cast<double>(y.global_of(l)));
+    }
+  });
+  // The paper: SAXPY runs in O(n/N_P) with no communication at all.
+  EXPECT_EQ(rt->total_stats().messages_sent, 0u);
+  EXPECT_EQ(rt->total_stats().bytes_sent, 0u);
+}
+
+TEST_P(IntrinsicsTest, SaypxMatchesFigure2Update) {
+  const int np = GetParam();
+  const std::size_t n = 77;
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> r(p, share(Distribution::block(n, p.nprocs())));
+    auto pv = DistributedVector<double>::aligned_like(r);
+    r.set_from([](std::size_t g) { return static_cast<double>(g) + 1.0; });
+    pv.set_from([](std::size_t g) { return static_cast<double>(g) * 2.0; });
+    const double beta = 0.25;
+    hpfcg::hpf::aypx(beta, r, pv);  // p = beta*p + r
+    for (std::size_t l = 0; l < pv.local().size(); ++l) {
+      const auto g = static_cast<double>(pv.global_of(l));
+      EXPECT_DOUBLE_EQ(pv.local()[l], beta * (g * 2.0) + (g + 1.0));
+    }
+  });
+}
+
+TEST_P(IntrinsicsTest, DotFlopsAreDistributed) {
+  const int np = GetParam();
+  const std::size_t n = 128;
+  auto rt = run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(n, p.nprocs())));
+    hpfcg::hpf::fill(x, 1.0);
+    (void)hpfcg::hpf::dot_product(x, x);
+  });
+  // Element-wise multiply flops: 2 per owned element, so 2n in total
+  // (plus the merge's combine flops on interior tree nodes).
+  std::uint64_t mult_flops = 0;
+  for (int r = 0; r < np; ++r) mult_flops += rt->stats(r).flops;
+  EXPECT_GE(mult_flops, 2 * n);
+  // Per the paper the local phase is O(n/N_P): no rank does much more than
+  // its share (block imbalance is at most one block).
+  const std::size_t per_rank_cap = 2 * ((n + np - 1) / np) + 64;
+  for (int r = 0; r < np; ++r) {
+    EXPECT_LE(rt->stats(r).flops, per_rank_cap);
+  }
+}
+
+TEST_P(IntrinsicsTest, HadamardAndScaleAndAssign) {
+  const int np = GetParam();
+  const std::size_t n = 60;
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(n, p.nprocs())));
+    auto y = DistributedVector<double>::aligned_like(x);
+    auto z = DistributedVector<double>::aligned_like(x);
+    x.set_from([](std::size_t g) { return static_cast<double>(g + 1); });
+    y.set_from([](std::size_t g) { return 1.0 / static_cast<double>(g + 1); });
+    hpfcg::hpf::hadamard(x, y, z);  // z = 1 everywhere
+    EXPECT_NEAR(hpfcg::hpf::sum(z), static_cast<double>(n), 1e-9);
+    hpfcg::hpf::scale(3.0, z);
+    EXPECT_NEAR(hpfcg::hpf::sum(z), 3.0 * static_cast<double>(n), 1e-9);
+    hpfcg::hpf::assign(z, y);
+    EXPECT_NEAR(hpfcg::hpf::sum(y), 3.0 * static_cast<double>(n), 1e-9);
+  });
+}
+
+TEST(Intrinsics, MisalignedOperandsRejected) {
+  run_spmd(2, [](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(10, 2)));
+    DistributedVector<double> y(p, share(Distribution::cyclic(10, 2)));
+    EXPECT_THROW(hpfcg::hpf::axpy(1.0, x, y), hpfcg::util::Error);
+    EXPECT_THROW((void)hpfcg::hpf::dot_product(x, y), hpfcg::util::Error);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, IntrinsicsTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

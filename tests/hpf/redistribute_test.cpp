@@ -1,0 +1,91 @@
+// REDISTRIBUTE: content must be preserved across every pair of
+// distribution kinds, including dynamic (runtime-computed) cut points.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hpfcg/hpf/redistribute.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::DistPtr;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+
+namespace {
+
+DistPtr share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+std::vector<DistPtr> all_dists(std::size_t n, int np) {
+  std::vector<DistPtr> out;
+  out.push_back(share(Distribution::block(n, np)));
+  out.push_back(share(Distribution::cyclic(n, np)));
+  out.push_back(share(Distribution::cyclic_size(n, np, 4)));
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(np) + 1, n);
+  cuts[0] = 0;
+  for (int r = 1; r < np; ++r) {
+    cuts[static_cast<std::size_t>(r)] =
+        std::min<std::size_t>(n, static_cast<std::size_t>(r) * 2);
+  }
+  out.push_back(share(Distribution::from_cuts(n, cuts)));
+  return out;
+}
+
+class RedistributeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedistributeTest, AllPairsPreserveContent) {
+  const int np = GetParam();
+  const std::size_t n = 73;
+  run_spmd(np, [&](Process& p) {
+    const auto dists = all_dists(n, p.nprocs());
+    for (const auto& from : dists) {
+      for (const auto& to : dists) {
+        DistributedVector<double> src(p, from);
+        src.set_from([](std::size_t g) {
+          return static_cast<double>(g) * 1.5 - 7.0;
+        });
+        auto dst = hpfcg::hpf::redistribute(src, to);
+        EXPECT_TRUE(dst.dist() == *to);
+        for (std::size_t l = 0; l < dst.local().size(); ++l) {
+          const auto g = static_cast<double>(dst.global_of(l));
+          EXPECT_DOUBLE_EQ(dst.local()[l], g * 1.5 - 7.0);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(RedistributeTest, IdentityRedistributionIsContentEqual) {
+  const int np = GetParam();
+  const std::size_t n = 29;
+  run_spmd(np, [&](Process& p) {
+    auto dist = share(Distribution::block(n, p.nprocs()));
+    DistributedVector<double> src(p, dist);
+    src.set_from([](std::size_t g) { return static_cast<double>(g * g); });
+    auto dst = hpfcg::hpf::redistribute(src, dist);
+    for (std::size_t l = 0; l < dst.local().size(); ++l) {
+      EXPECT_DOUBLE_EQ(dst.local()[l], src.local()[l]);
+    }
+  });
+}
+
+TEST_P(RedistributeTest, SizeMismatchRejected) {
+  const int np = GetParam();
+  run_spmd(np, [&](Process& p) {
+    DistributedVector<double> src(p,
+                                  share(Distribution::block(10, p.nprocs())));
+    EXPECT_THROW((void)hpfcg::hpf::redistribute(
+                     src, share(Distribution::block(11, p.nprocs()))),
+                 hpfcg::util::Error);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, RedistributeTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace

@@ -1,0 +1,140 @@
+// CSHIFT / EOSHIFT intrinsics: Fortran semantics, all shift magnitudes and
+// signs, contiguous and non-contiguous distributions, and the boundary-
+// exchange communication bound on BLOCK.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "hpfcg/hpf/shift.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+double val(std::size_t g) { return 100.0 + static_cast<double>(g); }
+
+class ShiftTest
+    : public ::testing::TestWithParam<std::tuple<int, long, bool>> {};
+
+TEST_P(ShiftTest, MatchesSerialDefinition) {
+  const auto [np, shift, cyclic_dist] = GetParam();
+  const std::size_t n = 23;
+  run_spmd(np, [&, shift = shift, cyclic_dist = cyclic_dist](Process& p) {
+    auto dist = cyclic_dist ? share(Distribution::cyclic(n, p.nprocs()))
+                            : share(Distribution::block(n, p.nprocs()));
+    DistributedVector<double> x(p, dist), c(p, dist), e(p, dist);
+    x.set_from(val);
+
+    hpfcg::hpf::cshift(x, c, shift);
+    const auto cf = c.to_global();
+    const auto sn = static_cast<long>(n);
+    for (long i = 0; i < sn; ++i) {
+      const long srci = (((i + shift) % sn) + sn) % sn;
+      EXPECT_DOUBLE_EQ(cf[static_cast<std::size_t>(i)],
+                       val(static_cast<std::size_t>(srci)))
+          << "cshift i=" << i << " shift=" << shift;
+    }
+
+    hpfcg::hpf::eoshift(x, e, shift, -1.0);
+    const auto ef = e.to_global();
+    for (long i = 0; i < sn; ++i) {
+      const long srci = i + shift;
+      const double expect =
+          (srci < 0 || srci >= sn) ? -1.0 : val(static_cast<std::size_t>(srci));
+      EXPECT_DOUBLE_EQ(ef[static_cast<std::size_t>(i)], expect)
+          << "eoshift i=" << i << " shift=" << shift;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ShiftTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values<long>(-25, -7, -1, 0, 1, 5, 23, 24,
+                                               50),
+                       ::testing::Bool()));
+
+TEST(Shift, UnitShiftOnBlockIsBoundaryExchangeOnly) {
+  // The stencil payoff: CSHIFT(x, ±1) on BLOCK moves exactly one element
+  // per rank boundary — O(1) messages/bytes per rank, not O(n).
+  const std::size_t n = 4096;
+  const int np = 8;
+  auto rt = run_spmd(np, [&](Process& p) {
+    auto dist = share(Distribution::block(n, np));
+    DistributedVector<double> x(p, dist), y(p, dist);
+    x.set_from(val);
+    hpfcg::hpf::cshift(x, y, 1);
+  });
+  // Each rank sends exactly one boundary element (to its left neighbour;
+  // circular wrap included): NP messages of 8 bytes.
+  EXPECT_EQ(rt->total_stats().messages_sent, static_cast<std::uint64_t>(np));
+  EXPECT_EQ(rt->total_stats().bytes_sent,
+            static_cast<std::uint64_t>(np) * sizeof(double));
+}
+
+TEST(Shift, Laplace1dStencilMatchesAssembledMatrix) {
+  const std::size_t n = 257;
+  for (const int np : {1, 3, 4, 8}) {
+    run_spmd(np, [&](Process& p) {
+      auto dist = share(Distribution::block(n, p.nprocs()));
+      DistributedVector<double> x(p, dist), q(p, dist);
+      x.set_from([](std::size_t g) {
+        return std::sin(0.1 * static_cast<double>(g));
+      });
+      hpfcg::hpf::laplace1d_stencil(x, q);
+      const auto xf = x.to_global();
+      const auto qf = q.to_global();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double left = i > 0 ? xf[i - 1] : 0.0;
+        const double right = i + 1 < n ? xf[i + 1] : 0.0;
+        EXPECT_NEAR(qf[i], 2 * xf[i] - left - right, 1e-12);
+      }
+    });
+  }
+}
+
+TEST(Shift, FullWrapIsIdentity) {
+  const std::size_t n = 16;
+  run_spmd(4, [&](Process& p) {
+    auto dist = share(Distribution::block(n, 4));
+    DistributedVector<double> x(p, dist), y(p, dist);
+    x.set_from(val);
+    hpfcg::hpf::cshift(x, y, static_cast<long>(n));
+    for (std::size_t l = 0; l < x.local().size(); ++l) {
+      EXPECT_DOUBLE_EQ(y.local()[l], x.local()[l]);
+    }
+  });
+}
+
+TEST(Shift, EoshiftBeyondLengthFillsEverything) {
+  const std::size_t n = 12;
+  run_spmd(3, [&](Process& p) {
+    auto dist = share(Distribution::block(n, 3));
+    DistributedVector<double> x(p, dist), y(p, dist);
+    x.set_from(val);
+    hpfcg::hpf::eoshift(x, y, 40, 9.0);
+    for (const double v : y.local()) EXPECT_DOUBLE_EQ(v, 9.0);
+  });
+}
+
+TEST(Shift, MisalignedOperandsRejected) {
+  run_spmd(2, [](Process& p) {
+    DistributedVector<double> x(p, share(Distribution::block(10, 2)));
+    DistributedVector<double> y(p, share(Distribution::cyclic(10, 2)));
+    EXPECT_THROW(hpfcg::hpf::cshift(x, y, 1), hpfcg::util::Error);
+  });
+}
+
+}  // namespace

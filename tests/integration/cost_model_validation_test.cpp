@@ -1,0 +1,151 @@
+// Integration: the instrumented runtime must agree with the closed-form
+// cost model — the paper's formulas — for the collectives CG is built from.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::CostParams;
+using hpfcg::msg::Process;
+using hpfcg::msg::Topology;
+using hpfcg_test::run_spmd;
+
+namespace {
+
+TEST(CostModelValidation, AllgatherStartupsScaleAsPredicted) {
+  // Power-of-two hypercube: recursive doubling, log2(P) start-ups per rank
+  // — the paper's t_startup * log N_P term.  Total volume is identical to
+  // the ring's (P-1) * n bytes: the algorithm saves start-ups, not bytes.
+  for (const int np : {2, 4, 8}) {
+    const std::size_t n = 64;
+    auto rt = run_spmd(np, [&](Process& p) {
+      DistributedVector<double> v(
+          p, std::make_shared<const Distribution>(Distribution::block(n, np)));
+      hpfcg::hpf::fill(v, 1.0);
+      (void)v.to_global();
+    });
+    int log2p = 0;
+    while ((1 << log2p) < np) ++log2p;
+    for (int r = 0; r < np; ++r) {
+      EXPECT_EQ(rt->stats(r).messages_sent,
+                static_cast<std::uint64_t>(log2p));
+    }
+    EXPECT_EQ(rt->total_stats().bytes_sent,
+              static_cast<std::uint64_t>(np - 1) * n * sizeof(double));
+  }
+  // Non-power-of-two (and non-hypercube) machines fall back to the ring:
+  // P-1 start-ups per rank.
+  for (const int np : {3, 5}) {
+    const std::size_t n = 60;
+    auto rt = run_spmd(np, [&](Process& p) {
+      DistributedVector<double> v(
+          p, std::make_shared<const Distribution>(Distribution::block(n, np)));
+      hpfcg::hpf::fill(v, 1.0);
+      (void)v.to_global();
+    });
+    for (int r = 0; r < np; ++r) {
+      EXPECT_EQ(rt->stats(r).messages_sent,
+                static_cast<std::uint64_t>(np - 1));
+    }
+  }
+}
+
+TEST(CostModelValidation, DotProductMergeIsLogarithmicInMessages) {
+  // The paper: the merge phase costs t_startup * log N_P on a hypercube.
+  // Our allreduce(1 scalar) = binomial reduce + binomial broadcast: total
+  // messages = 2*(P-1), critical path <= 2*ceil(log2 P) per rank.
+  for (const int np : {2, 4, 8, 16}) {
+    auto rt = run_spmd(np, [&](Process& p) {
+      (void)p.allreduce(1.0);
+    });
+    EXPECT_EQ(rt->total_stats().messages_sent,
+              static_cast<std::uint64_t>(2 * (np - 1)));
+    int log2p = 0;
+    while ((1 << log2p) < np) ++log2p;
+    for (int r = 0; r < np; ++r) {
+      EXPECT_LE(rt->stats(r).messages_sent,
+                static_cast<std::uint64_t>(2 * log2p));
+    }
+  }
+}
+
+TEST(CostModelValidation, ModeledAllgatherTimeTracksClosedForm) {
+  // Measured modeled time (max over ranks) must be within 2x of the
+  // closed-form allgather_time for the ring structure we implement.
+  const int np = 8;
+  const std::size_t n = 1024;
+  CostParams params;  // defaults
+  auto rt = run_spmd(
+      np,
+      [&](Process& p) {
+        DistributedVector<double> v(
+            p,
+            std::make_shared<const Distribution>(Distribution::block(n, np)));
+        hpfcg::hpf::fill(v, 2.0);
+        (void)v.to_global();
+      },
+      params, Topology::kRing);
+  const double per_rank_bytes = (n / np) * sizeof(double);
+  const double predicted = rt->cost().allgather_time(
+      static_cast<std::size_t>(per_rank_bytes));
+  const double measured = rt->modeled_makespan();
+  EXPECT_GT(measured, 0.5 * predicted);
+  EXPECT_LT(measured, 2.0 * predicted);
+}
+
+TEST(CostModelValidation, TopologyChangesModeledTimeNotResults) {
+  const std::size_t n = 256;
+  const int np = 8;
+  std::vector<double> results;
+  std::vector<double> times;
+  for (const auto topo : {Topology::kHypercube, Topology::kRing,
+                          Topology::kMesh2D, Topology::kFullyConnected}) {
+    double dot = 0.0;
+    auto rt = run_spmd(
+        np,
+        [&](Process& p) {
+          DistributedVector<double> v(
+              p, std::make_shared<const Distribution>(
+                     Distribution::block(n, np)));
+          v.set_from([](std::size_t g) { return static_cast<double>(g % 5); });
+          const double d = hpfcg::hpf::dot_product(v, v);
+          if (p.rank() == 0) dot = d;
+        },
+        CostParams{}, topo);
+    results.push_back(dot);
+    times.push_back(rt->modeled_makespan());
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], results[0]);
+  }
+  // Ring routes cost more hops than the crossbar for the same algorithm.
+  EXPECT_GE(times[1], times[3]);
+}
+
+TEST(CostModelValidation, ComputeCommunicationRatioImprovesWithN) {
+  // The owner-computes premise: compute per rank grows with n while the
+  // scalar-merge communication stays flat, so the ratio improves — the
+  // "maximum computation to communications ratio" the paper attributes to
+  // good data distribution.
+  const int np = 4;
+  const auto ratio_for = [&](std::size_t n) {
+    auto rt = run_spmd(np, [&](Process& p) {
+      DistributedVector<double> v(
+          p, std::make_shared<const Distribution>(Distribution::block(n, np)));
+      hpfcg::hpf::fill(v, 1.5);
+      (void)hpfcg::hpf::dot_product(v, v);
+    });
+    const auto& s = rt->stats(0);
+    return s.modeled_compute_seconds / (s.modeled_comm_seconds + 1e-30);
+  };
+  EXPECT_GT(ratio_for(100000), ratio_for(100));
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Fixed-tag FIFO stress: several subsystems reuse a constant tag across
+// repeated calls (shift exchanges, Scenario-2 serialized matvecs, nnz
+// executor runs, subgroup collectives) and rely on the mailbox's
+// non-overtaking FIFO guarantee per (source, tag) to keep back-to-back
+// calls correctly paired.  This suite hammers those paths in tight loops,
+// where any mispairing would corrupt data deterministically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/hpf/grid2d.hpp"
+#include "hpfcg/hpf/shift.hpp"
+#include "hpfcg/sparse/convert.hpp"
+#include "hpfcg/sparse/dist_csc.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+TEST(FixedTagStress, RepeatedShiftChainsStayPaired) {
+  const std::size_t n = 96;
+  run_spmd(8, [&](Process& p) {
+    auto dist = share(Distribution::block(n, 8));
+    DistributedVector<double> x(p, dist), y(p, dist);
+    x.set_from([](std::size_t g) { return static_cast<double>(g); });
+    // 50 alternating shifts; a single mispairing would scramble values.
+    for (int round = 0; round < 50; ++round) {
+      hpfcg::hpf::cshift(x, y, 1);
+      hpfcg::hpf::cshift(y, x, -1);  // undoes the first
+    }
+    for (std::size_t l = 0; l < x.local().size(); ++l) {
+      EXPECT_DOUBLE_EQ(x.local()[l], static_cast<double>(x.global_of(l)));
+    }
+  });
+}
+
+TEST(FixedTagStress, RepeatedSerializedMatvecs) {
+  const auto csr = hpfcg::sparse::random_spd(36, 4, 71);
+  const auto csc = hpfcg::sparse::csr_to_csc(csr);
+  const std::size_t n = csc.n_cols();
+  std::vector<double> p_full(n), q_ref(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    p_full[g] = static_cast<double>(g % 5) - 2.0;
+  }
+  csc.matvec(p_full, q_ref);
+
+  run_spmd(4, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, 4));
+    auto mat = hpfcg::sparse::DistCsc<double>::col_aligned(proc, csc, dist);
+    DistributedVector<double> p(proc, dist), q(proc, dist);
+    p.from_global(p_full);
+    for (int round = 0; round < 10; ++round) {
+      mat.matvec_serial(p, q);
+      for (std::size_t l = 0; l < q.local().size(); ++l) {
+        ASSERT_NEAR(q.local()[l], q_ref[q.global_of(l)], 1e-12)
+            << "round " << round;
+      }
+    }
+  });
+}
+
+TEST(FixedTagStress, RepeatedExecutorRunsWithoutCaching) {
+  // The misaligned nnz executor re-fetches every sweep over a fixed tag.
+  const auto a = hpfcg::sparse::random_spd(64, 6, 81);
+  const std::size_t n = a.n_rows();
+  std::vector<double> p_full(n), q_ref(n);
+  for (std::size_t g = 0; g < n; ++g) p_full[g] = 1.0 / (1.0 + g);
+  a.matvec(p_full, q_ref);
+
+  run_spmd(8, [&](Process& proc) {
+    auto row_dist = share(Distribution::block(n, 8));
+    auto nnz_dist = share(Distribution::block(a.nnz(), 8));
+    hpfcg::sparse::DistCsr<double> mat(proc, a, row_dist, nnz_dist);
+    DistributedVector<double> p(proc, row_dist), q(proc, row_dist);
+    p.from_global(p_full);
+    for (int round = 0; round < 12; ++round) {
+      mat.matvec(p, q);
+      for (std::size_t l = 0; l < q.local().size(); ++l) {
+        ASSERT_NEAR(q.local()[l], q_ref[q.global_of(l)], 1e-12)
+            << "round " << round;
+      }
+    }
+  });
+}
+
+TEST(FixedTagStress, RepeatedSubgroupCollectives) {
+  run_spmd(12, [](Process& proc) {
+    const hpfcg::hpf::Grid2D g(3, 4);
+    const auto row = g.row_group(g.row_of(proc.rank()));
+    const std::vector<std::size_t> counts(4, 3);
+    for (int round = 0; round < 30; ++round) {
+      std::vector<double> buf(12);
+      for (std::size_t i = 0; i < 12; ++i) {
+        buf[i] = static_cast<double>(i) + 1000.0 * round;
+      }
+      std::vector<double> mine(3);
+      hpfcg::hpf::group_reduce_scatter<double>(proc, row, buf, mine, counts,
+                                               0x7200);
+      const std::size_t off =
+          3 * static_cast<std::size_t>(g.col_of(proc.rank()));
+      for (std::size_t i = 0; i < 3; ++i) {
+        ASSERT_DOUBLE_EQ(mine[i],
+                         4.0 * (static_cast<double>(off + i) +
+                                1000.0 * round))
+            << "round " << round;
+      }
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// End-to-end application pipeline: generate → write Matrix Market → read at
+// root only → scatter across the machine → solve with preconditioned CG →
+// verify against the direct solver.  Exercises the full I/O + distribution
+// + solver stack the way a downstream user would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/solvers/block_jacobi.hpp"
+#include "hpfcg/solvers/dense_direct.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/sparse/matrix_market.hpp"
+#include "spmd_test_util.hpp"
+
+namespace sp = hpfcg::sparse;
+namespace sv = hpfcg::solvers;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineTest, FileToSolutionEndToEnd) {
+  const int np = GetParam();
+  const std::string path =
+      ::testing::TempDir() + "/hpfcg_pipeline_" + std::to_string(np) + ".mtx";
+
+  // Stage 1 (offline): a tool writes the system to disk.
+  const auto original = sp::random_spd(72, 5, 2026);
+  sp::write_matrix_market_file(path, original);
+  const auto b_full = sp::random_rhs(72, 2027);
+  const auto x_direct = sv::cholesky_solve(original.to_dense(), b_full);
+
+  // Stage 2 (parallel run): only rank 0 reads the file; slices scatter.
+  run_spmd(np, [&](Process& proc) {
+    sp::Csr<double> on_root;
+    if (proc.rank() == 0) {
+      on_root = sp::read_matrix_market_file(path);
+    }
+    const std::size_t n =
+        proc.broadcast_value<std::size_t>(0, on_root.n_rows());
+    ASSERT_EQ(n, 72u);
+
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(n, proc.nprocs()));
+    auto mat =
+        sp::DistCsr<double>::scatter_from_root(proc, 0, on_root, dist);
+
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+
+    // Block-Jacobi needs the local diagonal block; ranks other than root
+    // do not hold the global matrix, so rebuild it from the local slices
+    // is overkill here — scatter the matrix again for the preconditioner
+    // build via a root broadcast of the full matrix rows is what the
+    // replicated-build path does.  Instead use plain CG: the point of this
+    // test is the I/O + scatter + solve pipeline.
+    const auto res = sv::cg_dist<double>(op, b, x, {.rel_tolerance = 1e-10});
+    EXPECT_TRUE(res.converged);
+
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(full[i], x_direct[i], 1e-7);
+    }
+  });
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, PipelineTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+TEST(Pipeline, ScatterMovesEachSliceOnce) {
+  // The scatter path's traffic is one-shot: the matrix crosses the wire
+  // exactly once, not per sweep.
+  const int np = 4;
+  const auto a = sp::laplacian_2d(16, 16);
+  const std::size_t n = a.n_rows();
+  auto rt = run_spmd(np, [&](Process& proc) {
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(n, np));
+    auto mat = sp::DistCsr<double>::scatter_from_root(
+        proc, 0, proc.rank() == 0 ? a : sp::Csr<double>{}, dist);
+    DistributedVector<double> p(proc, dist), q(proc, dist);
+    p.set_from([](std::size_t g) { return static_cast<double>(g % 3); });
+    const auto before = proc.stats().bytes_sent;
+    for (int s = 0; s < 5; ++s) mat.matvec(p, q);
+    // Per-sweep traffic beyond this point is the p-broadcast only; the
+    // matrix slices moved before the snapshot and are never re-sent.
+    const auto per_sweep = (proc.stats().bytes_sent - before) / 5;
+    EXPECT_LE(per_sweep, n * sizeof(double) * 2);
+  });
+  (void)rt;
+}
+
+}  // namespace

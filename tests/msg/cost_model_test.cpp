@@ -1,0 +1,108 @@
+// The communication cost model: hop metrics per topology and the paper's
+// closed-form collective costs.
+
+#include <gtest/gtest.h>
+
+#include "hpfcg/msg/cost_model.hpp"
+#include "hpfcg/util/error.hpp"
+
+using hpfcg::msg::CostModel;
+using hpfcg::msg::CostParams;
+using hpfcg::msg::Topology;
+
+namespace {
+
+TEST(CostModel, HypercubeHopsArePopcount) {
+  CostModel m({}, Topology::kHypercube, 8);
+  EXPECT_EQ(m.hops(0, 0), 0);
+  EXPECT_EQ(m.hops(0, 1), 1);
+  EXPECT_EQ(m.hops(0, 7), 3);
+  EXPECT_EQ(m.hops(5, 6), 2);  // 101 ^ 110 = 011
+}
+
+TEST(CostModel, RingHopsAreCyclicDistance) {
+  CostModel m({}, Topology::kRing, 8);
+  EXPECT_EQ(m.hops(0, 1), 1);
+  EXPECT_EQ(m.hops(0, 7), 1);  // wraps
+  EXPECT_EQ(m.hops(0, 4), 4);
+  EXPECT_EQ(m.hops(2, 6), 4);
+}
+
+TEST(CostModel, Mesh2DHopsAreManhattan) {
+  // 8 procs -> 2x4 mesh (most-square factorization picks cols=2, giving a
+  // 4x2 grid: rank = row*2 + col).
+  CostModel m({}, Topology::kMesh2D, 8);
+  EXPECT_EQ(m.hops(0, 1), 1);   // same row, adjacent col
+  EXPECT_EQ(m.hops(0, 2), 1);   // adjacent row
+  EXPECT_EQ(m.hops(0, 7), 4);   // (0,0) -> (3,1)
+}
+
+TEST(CostModel, CrossbarIsAlwaysOneHop) {
+  CostModel m({}, Topology::kFullyConnected, 16);
+  EXPECT_EQ(m.hops(3, 12), 1);
+  EXPECT_EQ(m.hops(0, 15), 1);
+}
+
+TEST(CostModel, MessageTimeScalesWithBytes) {
+  CostParams params;
+  params.t_startup = 1e-4;
+  params.t_comm = 1e-8;
+  params.t_hop = 0.0;
+  CostModel m(params, Topology::kFullyConnected, 4);
+  const double t1 = m.message_time(0, 1, 1000);
+  const double t2 = m.message_time(0, 1, 2000);
+  EXPECT_DOUBLE_EQ(t2 - t1, 1000 * params.t_comm);
+  EXPECT_DOUBLE_EQ(m.message_time(2, 2, 12345), 0.0);  // local copy is free
+}
+
+TEST(CostModel, BroadcastIsLogTree) {
+  CostParams params;
+  params.t_startup = 1.0;
+  params.t_comm = 0.0;
+  params.t_hop = 0.0;
+  // ceil(log2(8)) = 3 start-ups.
+  CostModel m8(params, Topology::kHypercube, 8);
+  EXPECT_DOUBLE_EQ(m8.broadcast_time(64), 3.0);
+  // ceil(log2(5)) = 3 as well.
+  CostModel m5(params, Topology::kHypercube, 5);
+  EXPECT_DOUBLE_EQ(m5.broadcast_time(64), 3.0);
+  // One processor: no communication.
+  CostModel m1(params, Topology::kHypercube, 1);
+  EXPECT_DOUBLE_EQ(m1.broadcast_time(64), 0.0);
+}
+
+TEST(CostModel, AllreduceIsTwiceReduce) {
+  CostModel m({}, Topology::kHypercube, 8);
+  EXPECT_DOUBLE_EQ(m.allreduce_time(256), 2 * m.reduce_time(256));
+}
+
+TEST(CostModel, AllgatherHypercubeMatchesPaperFormula) {
+  // The paper: all-to-all broadcast of n/N_P elements takes
+  // t_startup * log N_P + t_comm * (total bytes moved per rank).
+  CostParams params;
+  params.t_startup = 1.0;
+  params.t_comm = 1.0;
+  params.t_hop = 0.0;
+  CostModel m(params, Topology::kHypercube, 8);
+  const std::size_t block = 16;  // bytes per rank
+  // Recursive doubling: 3 start-ups + (16 + 32 + 64) bytes = 3 + 112.
+  EXPECT_DOUBLE_EQ(m.allgather_time(block), 3.0 + 112.0);
+  // Total payload equals (P-1)*block, matching the ring total volume.
+  CostModel ring(params, Topology::kRing, 8);
+  EXPECT_DOUBLE_EQ(ring.allgather_time(block), 7.0 * (1.0 + 16.0));
+}
+
+TEST(CostModel, TopologyNames) {
+  EXPECT_EQ(hpfcg::msg::topology_name(Topology::kHypercube), "hypercube");
+  EXPECT_EQ(hpfcg::msg::topology_name(Topology::kRing), "ring");
+  EXPECT_EQ(hpfcg::msg::topology_name(Topology::kMesh2D), "mesh2d");
+  EXPECT_EQ(hpfcg::msg::topology_name(Topology::kFullyConnected), "crossbar");
+}
+
+TEST(CostModel, RankValidation) {
+  CostModel m({}, Topology::kRing, 4);
+  EXPECT_THROW((void)m.hops(0, 4), hpfcg::util::Error);
+  EXPECT_THROW((void)m.hops(-1, 0), hpfcg::util::Error);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// PhaseProfile: Stats deltas must land in the right named phases.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hpfcg/msg/phase_profile.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::msg::PhaseProfile;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+
+namespace {
+
+TEST(PhaseProfile, AttributesDeltasToPhases) {
+  run_spmd(2, [](Process& p) {
+    PhaseProfile prof(p);
+
+    prof.enter("compute");
+    p.add_flops(1000);
+    prof.enter("exchange");
+    if (p.rank() == 0) {
+      p.send_value<double>(1, 1, 2.5);
+    } else {
+      (void)p.recv_value<double>(0, 1);
+    }
+    prof.enter("more-compute");
+    p.add_flops(500);
+    prof.exit();
+
+    EXPECT_EQ(prof.of("compute").flops, 1000u);
+    EXPECT_EQ(prof.of("compute").messages_sent, 0u);
+    EXPECT_EQ(prof.of("more-compute").flops, 500u);
+    if (p.rank() == 0) {
+      EXPECT_EQ(prof.of("exchange").messages_sent, 1u);
+      EXPECT_EQ(prof.of("exchange").bytes_sent, 8u);
+    } else {
+      EXPECT_EQ(prof.of("exchange").messages_received, 1u);
+    }
+    EXPECT_EQ(prof.of("exchange").flops, 0u);
+    EXPECT_EQ(prof.of("never-entered").flops, 0u);
+  });
+}
+
+TEST(PhaseProfile, ReenteringAccumulates) {
+  run_spmd(1, [](Process& p) {
+    PhaseProfile prof(p);
+    for (int i = 0; i < 3; ++i) {
+      prof.enter("work");
+      p.add_flops(10);
+      prof.enter("idle");
+    }
+    prof.exit();
+    EXPECT_EQ(prof.of("work").flops, 30u);
+    EXPECT_EQ(prof.of("idle").flops, 0u);
+    EXPECT_EQ(prof.phases().size(), 2u);
+  });
+}
+
+TEST(PhaseProfile, UnattributedTimeIsDropped) {
+  run_spmd(1, [](Process& p) {
+    PhaseProfile prof(p);
+    p.add_flops(99);  // before any phase: not attributed
+    prof.enter("phase");
+    p.add_flops(1);
+    prof.exit();
+    EXPECT_EQ(prof.of("phase").flops, 1u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Distributed solvers must reproduce the serial reference results for every
+// machine size and every matvec kernel (dense row/col, CSR, CSC private).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/hpf/matvec_dense.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/solvers/preconditioner.hpp"
+#include "hpfcg/solvers/serial.hpp"
+#include "hpfcg/sparse/convert.hpp"
+#include "hpfcg/sparse/dist_csc.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "spmd_test_util.hpp"
+
+namespace sv = hpfcg::solvers;
+namespace sp = hpfcg::sparse;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+struct Reference {
+  sp::Csr<double> a;
+  std::vector<double> b;
+  std::vector<double> x;
+  sv::SolveResult res;
+};
+
+Reference serial_reference(const sp::Csr<double>& a, std::uint64_t seed) {
+  Reference ref{a, sp::random_rhs(a.n_rows(), seed),
+                std::vector<double>(a.n_rows(), 0.0),
+                {}};
+  ref.res = sv::cg(ref.a, ref.b, ref.x,
+                   {.rel_tolerance = 1e-10, .track_residuals = true});
+  return ref;
+}
+
+class DistSolversTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistSolversTest, CgOverCsrMatchesSerialIterateForIterate) {
+  const int np = GetParam();
+  const auto ref = serial_reference(sp::laplacian_2d(7, 9), 31);
+  const std::size_t n = ref.a.n_rows();
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, ref.a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(ref.b);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::cg_dist<double>(op, b, x,
+                                         {.rel_tolerance = 1e-10,
+                                          .track_residuals = true});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref.res.iterations);
+    ASSERT_EQ(res.residual_history.size(), ref.res.residual_history.size());
+    for (std::size_t k = 0; k < res.residual_history.size(); ++k) {
+      EXPECT_NEAR(res.residual_history[k], ref.res.residual_history[k],
+                  1e-6 * (1.0 + ref.res.residual_history[k]));
+    }
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(full[i], ref.x[i], 1e-7);
+  });
+}
+
+TEST_P(DistSolversTest, CgOverCscPrivateMergeMatchesSerial) {
+  const int np = GetParam();
+  const auto ref = serial_reference(sp::random_spd(60, 5, 71), 72);
+  const auto csc = sp::csr_to_csc(ref.a);
+  const std::size_t n = ref.a.n_rows();
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsc<double>::col_aligned(proc, csc, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(ref.b);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec_private(p, q);
+    };
+    const auto res =
+        sv::cg_dist<double>(op, b, x, {.rel_tolerance = 1e-10});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref.res.iterations);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(full[i], ref.x[i], 1e-7);
+  });
+}
+
+TEST_P(DistSolversTest, CgOverDenseRowwiseMatchesSerial) {
+  const int np = GetParam();
+  const std::size_t n = 48;
+  // Dense SPD electromagnetics surrogate.
+  const auto entry = [](std::size_t i, std::size_t j) {
+    return sp::em_dense_entry(i, j, 6.0);
+  };
+  sp::Coo<double> coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) coo.add(i, j, entry(i, j));
+  }
+  const auto ref = serial_reference(sp::Csr<double>::from_coo(std::move(coo)),
+                                    91);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    hpfcg::hpf::DenseRowBlockMatrix<double> mat(proc, dist);
+    mat.set_from(entry);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(ref.b);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      hpfcg::hpf::matvec_rowwise(mat, p, q);
+    };
+    const auto res =
+        sv::cg_dist<double>(op, b, x, {.rel_tolerance = 1e-10});
+    EXPECT_TRUE(res.converged);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(full[i], ref.x[i], 1e-7);
+  });
+}
+
+TEST_P(DistSolversTest, PcgJacobiMatchesSerialPcg) {
+  const int np = GetParam();
+  const auto a = sp::random_spd(64, 5, 101);
+  const auto b_full = sp::random_rhs(64, 102);
+  std::vector<double> x_ref(64, 0.0);
+  const auto ref_res =
+      sv::pcg(a, sv::jacobi_preconditioner(a), b_full, x_ref,
+              {.rel_tolerance = 1e-10});
+  ASSERT_TRUE(ref_res.converged);
+  const auto diag = a.diagonal();
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(a.n_rows(), proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist),
+        inv_diag(proc, dist);
+    b.from_global(b_full);
+    inv_diag.set_from([&](std::size_t g) { return 1.0 / diag[g]; });
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::pcg_dist<double>(op, sv::jacobi_dist(inv_diag), b, x,
+                                          {.rel_tolerance = 1e-10});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref_res.iterations);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-7);
+    }
+  });
+}
+
+TEST_P(DistSolversTest, BicgUsesTransposeAndMatchesSerial) {
+  const int np = GetParam();
+  const auto a = sp::laplacian_2d(6, 8);
+  const auto b_full = sp::random_rhs(a.n_rows(), 111);
+  std::vector<double> x_ref(a.n_rows(), 0.0);
+  const auto ref_res = sv::bicg(a, b_full, x_ref, {.rel_tolerance = 1e-10});
+  ASSERT_TRUE(ref_res.converged);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(a.n_rows(), proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const sv::DistOp<double> op_t = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+      mat.matvec_transpose(p, q);
+    };
+    const auto res = sv::bicg_dist<double>(op, op_t, b, x,
+                                           {.rel_tolerance = 1e-10});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref_res.iterations);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-6);
+    }
+  });
+}
+
+TEST_P(DistSolversTest, BicgstabMatchesSerial) {
+  const int np = GetParam();
+  const auto a = sp::random_spd(50, 5, 121);
+  const auto b_full = sp::random_rhs(50, 122);
+  std::vector<double> x_ref(50, 0.0);
+  const auto ref_res =
+      sv::bicgstab(a, b_full, x_ref, {.rel_tolerance = 1e-10});
+  ASSERT_TRUE(ref_res.converged);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(50, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res =
+        sv::bicgstab_dist<double>(op, b, x, {.rel_tolerance = 1e-10});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref_res.iterations);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-6);
+    }
+  });
+}
+
+TEST_P(DistSolversTest, BicgCostsMoreCommunicationThanCg) {
+  // Section 2.1: BiCG's A^T product turns the broadcast-only iteration into
+  // broadcast + merge — more data on the wire per iteration.
+  const int np = GetParam();
+  if (np == 1) GTEST_SKIP() << "no communication on one processor";
+  const auto a = sp::laplacian_2d(8, 8);
+  const auto b_full = sp::random_rhs(a.n_rows(), 131);
+
+  const auto run_solver = [&](bool use_bicg) {
+    auto rt = run_spmd(np, [&](Process& proc) {
+      auto dist = share(Distribution::block(a.n_rows(), proc.nprocs()));
+      auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+      DistributedVector<double> b(proc, dist), x(proc, dist);
+      b.from_global(b_full);
+      const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+        mat.matvec(p, q);
+      };
+      const sv::DistOp<double> op_t = [&](const DistributedVector<double>& p,
+                                          DistributedVector<double>& q) {
+        mat.matvec_transpose(p, q);
+      };
+      sv::SolveOptions opts{.max_iterations = 10, .rel_tolerance = 1e-30};
+      if (use_bicg) {
+        (void)sv::bicg_dist<double>(op, op_t, b, x, opts);
+      } else {
+        (void)sv::cg_dist<double>(op, b, x, opts);
+      }
+    });
+    return rt->total_stats().bytes_sent;
+  };
+  EXPECT_GT(run_solver(true), run_solver(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, DistSolversTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Distributed CGS and block-Jacobi preconditioning — the remaining family
+// members, verified against their serial references.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hpfcg/solvers/block_jacobi.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/solvers/preconditioner.hpp"
+#include "hpfcg/solvers/serial.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "spmd_test_util.hpp"
+
+namespace sv = hpfcg::solvers;
+namespace sp = hpfcg::sparse;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+class DistExtrasTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistExtrasTest, CgsDistMatchesSerialCgs) {
+  const int np = GetParam();
+  const auto a = sp::random_spd(56, 5, 201);
+  const auto b_full = sp::random_rhs(56, 202);
+  std::vector<double> x_ref(56, 0.0);
+  const auto ref = sv::cgs(a, b_full, x_ref, {.rel_tolerance = 1e-9});
+  ASSERT_TRUE(ref.converged);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(56, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::cgs_dist<double>(op, b, x, {.rel_tolerance = 1e-9});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref.iterations);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-6);
+    }
+  });
+}
+
+TEST_P(DistExtrasTest, BlockJacobiSolvesAndBeatsPointJacobi) {
+  const int np = GetParam();
+  // Strong within-block coupling: block-Jacobi should capture it and
+  // converge in no more iterations than point Jacobi.
+  const auto a = sp::tridiagonal(96, 2.0, -0.95);
+  const auto b_full = sp::random_rhs(96, 301);
+  std::vector<double> x_direct =
+      sv::cholesky_solve(a.to_dense(), b_full);
+
+  std::size_t block_iters = 0, point_iters = 0;
+  run_spmd(np, [&](Process& proc) {
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(96, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+
+    // Block-Jacobi PCG.
+    const auto prec = sv::block_jacobi_dist(proc, a, *dist);
+    const auto res = sv::pcg_dist<double>(op, prec, b, x,
+                                          {.max_iterations = 1000,
+                                           .rel_tolerance = 1e-10});
+    EXPECT_TRUE(res.converged);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_direct[i], 1e-6);
+    }
+
+    // Point-Jacobi PCG for comparison.
+    DistributedVector<double> x2(proc, dist), inv_diag(proc, dist);
+    const auto diag = a.diagonal();
+    inv_diag.set_from([&](std::size_t g) { return 1.0 / diag[g]; });
+    const auto res2 = sv::pcg_dist<double>(op, sv::jacobi_dist(inv_diag), b,
+                                           x2, {.max_iterations = 1000,
+                                                .rel_tolerance = 1e-10});
+    EXPECT_TRUE(res2.converged);
+    if (proc.rank() == 0) {
+      block_iters = res.iterations;
+      point_iters = res2.iterations;
+    }
+  });
+  EXPECT_LE(block_iters, point_iters);
+  if (np == 1) {
+    // One block == the whole matrix: the preconditioner is a direct solve.
+    EXPECT_LE(block_iters, 2u);
+  }
+}
+
+TEST_P(DistExtrasTest, BlockJacobiApplicationIsCommunicationFree) {
+  const int np = GetParam();
+  const auto a = sp::tridiagonal(64, 3.0, -1.0);
+  auto rt = run_spmd(np, [&](Process& proc) {
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(64, proc.nprocs()));
+    const auto prec = sv::block_jacobi_dist(proc, a, *dist);
+    DistributedVector<double> r(proc, dist), z(proc, dist);
+    r.set_from([](std::size_t g) { return static_cast<double>(g % 7) + 1; });
+    prec(r, z);
+    // Every rank's z solves its block exactly: A_block z_block = r_block.
+    // (Checked globally through the solver tests; here: no NaNs.)
+    for (const double v : z.local()) EXPECT_TRUE(std::isfinite(v));
+  });
+  EXPECT_EQ(rt->total_stats().messages_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, DistExtrasTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

@@ -1,0 +1,197 @@
+// GMRES(m): the "longer recurrences, greater storage" method of
+// Section 2.1 — serial and distributed, restart behaviour, non-symmetric
+// capability, and agreement with CG on SPD systems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/solvers/dist_gmres.hpp"
+#include "hpfcg/solvers/gmres.hpp"
+#include "hpfcg/solvers/serial.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "spmd_test_util.hpp"
+
+namespace sv = hpfcg::solvers;
+namespace sp = hpfcg::sparse;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+double residual_norm(const sp::Csr<double>& a, std::span<const double> x,
+                     std::span<const double> b) {
+  std::vector<double> q(b.size());
+  a.matvec(x, q);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    acc += (b[i] - q[i]) * (b[i] - q[i]);
+  }
+  return std::sqrt(acc);
+}
+
+TEST(Gmres, SolvesSpdSystem) {
+  const auto a = sp::laplacian_2d(10, 10);
+  const auto b = sp::random_rhs(a.n_rows(), 3);
+  std::vector<double> x(b.size(), 0.0);
+  const auto res = sv::gmres(a, b, x,
+                             {.base = {.max_iterations = 2000,
+                                       .rel_tolerance = 1e-10},
+                              .restart = 30});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-8);
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem) {
+  // CG requires symmetry; GMRES does not.  Upwind-convection-like matrix.
+  const std::size_t n = 80;
+  sp::Coo<double> coo(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coo.add(i, i, 4.0);
+    if (i + 1 < n) coo.add(i, i + 1, -1.0);
+    if (i > 0) coo.add(i, i - 1, -2.5);  // asymmetric coupling
+  }
+  const auto a = sp::Csr<double>::from_coo(std::move(coo));
+  ASSERT_FALSE(a.is_symmetric(1e-12));
+  const auto b = sp::random_rhs(n, 5);
+  std::vector<double> x(n, 0.0);
+  const auto res = sv::gmres(a, b, x,
+                             {.base = {.max_iterations = 1000,
+                                       .rel_tolerance = 1e-10},
+                              .restart = 25});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-8);
+}
+
+TEST(Gmres, FullRestartLengthIsDirectLikeOnSmallSystems) {
+  // With m >= n, GMRES is the full (unrestarted) method: it must converge
+  // within n steps in exact arithmetic.
+  const auto a = sp::random_spd(24, 4, 9);
+  const auto b = sp::random_rhs(24, 10);
+  std::vector<double> x(24, 0.0);
+  const auto res = sv::gmres(a, b, x,
+                             {.base = {.max_iterations = 100,
+                                       .rel_tolerance = 1e-10},
+                              .restart = 24});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 26u);
+}
+
+TEST(Gmres, SmallRestartStillConvergesButSlower) {
+  const auto a = sp::laplacian_2d(12, 12);
+  const auto b = sp::random_rhs(a.n_rows(), 11);
+  sv::GmresOptions big{.base = {.max_iterations = 5000,
+                                .rel_tolerance = 1e-8},
+                       .restart = 60};
+  sv::GmresOptions small{.base = {.max_iterations = 5000,
+                                  .rel_tolerance = 1e-8},
+                         .restart = 5};
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const auto r_big = sv::gmres(a, b, x1, big);
+  const auto r_small = sv::gmres(a, b, x2, small);
+  EXPECT_TRUE(r_big.converged);
+  EXPECT_TRUE(r_small.converged);
+  EXPECT_GE(r_small.iterations, r_big.iterations);
+}
+
+TEST(Gmres, ResidualHistoryIsNonIncreasing) {
+  // Within a GMRES cycle the least-squares residual is monotone.
+  const auto a = sp::random_spd(60, 5, 17);
+  const auto b = sp::random_rhs(60, 18);
+  std::vector<double> x(60, 0.0);
+  const auto res = sv::gmres(a, b, x,
+                             {.base = {.max_iterations = 200,
+                                       .rel_tolerance = 1e-10,
+                                       .track_residuals = true},
+                              .restart = 60});
+  ASSERT_TRUE(res.converged);
+  for (std::size_t k = 1; k < res.residual_history.size(); ++k) {
+    EXPECT_LE(res.residual_history[k],
+              res.residual_history[k - 1] * (1.0 + 1e-12));
+  }
+}
+
+TEST(Gmres, ZeroRhsAndWarmStart) {
+  const auto a = sp::tridiagonal(16, 3.0, -1.0);
+  std::vector<double> b(16, 0.0), x(16, 0.5);
+  const auto res = sv::gmres(a, b, x, {.base = {.rel_tolerance = 1e-12}});
+  EXPECT_TRUE(res.converged);
+  for (const double v : x) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+class DistGmresTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistGmresTest, MatchesSerialGmres) {
+  const int np = GetParam();
+  const auto a = sp::laplacian_2d(8, 8);
+  const std::size_t n = a.n_rows();
+  const auto b_full = sp::random_rhs(n, 21);
+  std::vector<double> x_ref(n, 0.0);
+  const sv::GmresOptions opts{.base = {.max_iterations = 500,
+                                       .rel_tolerance = 1e-9},
+                              .restart = 20};
+  const auto ref = sv::gmres(a, b_full, x_ref, opts);
+  ASSERT_TRUE(ref.converged);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::gmres_dist<double>(op, b, x, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref.iterations);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-6);
+    }
+  });
+}
+
+TEST_P(DistGmresTest, MergeTrafficGrowsWithKrylovDepth) {
+  // Section 2.1's storage/communication remark, made quantitative: the
+  // j-th Arnoldi step performs j+1 merges, so a deeper restart costs more
+  // collectives per step than CG's constant two.
+  const int np = GetParam();
+  if (np == 1) GTEST_SKIP() << "no communication on one processor";
+  const auto a = sp::laplacian_2d(10, 10);
+  const std::size_t n = a.n_rows();
+  const auto b_full = sp::random_rhs(n, 33);
+
+  const auto collectives_for = [&](std::size_t steps, std::size_t restart) {
+    auto rt = run_spmd(np, [&](Process& proc) {
+      auto dist = std::make_shared<const Distribution>(
+          Distribution::block(n, proc.nprocs()));
+      auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+      DistributedVector<double> b(proc, dist), x(proc, dist);
+      b.from_global(b_full);
+      const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+        mat.matvec(p, q);
+      };
+      (void)sv::gmres_dist<double>(op, b, x,
+                                   {.base = {.max_iterations = steps,
+                                             .rel_tolerance = 0.0},
+                                    .restart = restart});
+    });
+    return rt->total_stats().collectives;
+  };
+  // Same number of inner steps, deeper basis => more merges.
+  EXPECT_GT(collectives_for(24, 24), collectives_for(24, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, DistGmresTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Property sweeps over random problems: CG's defining invariants hold for
+// every seeded instance, serial and distributed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "hpfcg/solvers/dense_direct.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/solvers/serial.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "spmd_test_util.hpp"
+
+namespace sv = hpfcg::solvers;
+namespace sp = hpfcg::sparse;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+
+namespace {
+
+/// ||x - x*||_A — the norm CG minimizes over the Krylov space.
+double a_norm_error(const sp::Csr<double>& a, std::span<const double> x,
+                    std::span<const double> x_star) {
+  const std::size_t n = x.size();
+  std::vector<double> e(n), ae(n);
+  for (std::size_t i = 0; i < n; ++i) e[i] = x[i] - x_star[i];
+  a.matvec(e, ae);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += e[i] * ae[i];
+  return std::sqrt(std::max(acc, 0.0));
+}
+
+class CgPropertySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(CgPropertySweep, InvariantsHoldOnRandomSpdInstances) {
+  const auto [seed, n] = GetParam();
+  const auto a = sp::random_spd(n, 5, seed);
+  const auto b = sp::random_rhs(n, seed + 1000);
+  const auto x_star = sv::cholesky_solve(a.to_dense(), b);
+
+  // 1. Convergence within n (+ roundoff slack) iterations to tight tol.
+  std::vector<double> x(n, 0.0);
+  const auto res = sv::cg(a, b, x, {.max_iterations = n + 5,
+                                    .rel_tolerance = 1e-11});
+  EXPECT_TRUE(res.converged) << "seed=" << seed;
+  EXPECT_FALSE(res.breakdown);
+
+  // 2. The reported residual is the true residual.
+  std::vector<double> q(n);
+  a.matvec(x, q);
+  double true_r = 0.0, bnorm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    true_r += (b[i] - q[i]) * (b[i] - q[i]);
+    bnorm += b[i] * b[i];
+  }
+  EXPECT_NEAR(std::sqrt(true_r) / std::sqrt(bnorm), res.relative_residual,
+              1e-9);
+
+  // 3. Solution matches the direct solver.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_star[i], 1e-7);
+
+  // 4. The A-norm error is non-increasing in the iteration count — CG's
+  //    optimality property over nested Krylov spaces.
+  double prev = a_norm_error(a, std::vector<double>(n, 0.0), x_star);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}, std::size_t{16}}) {
+    std::vector<double> xk(n, 0.0);
+    (void)sv::cg(a, b, xk, {.max_iterations = k, .rel_tolerance = 0.0});
+    const double err = a_norm_error(a, xk, x_star);
+    EXPECT_LE(err, prev * (1.0 + 1e-10))
+        << "A-norm error grew at k=" << k << " seed=" << seed;
+    prev = err;
+  }
+}
+
+TEST_P(CgPropertySweep, DistributedAgreesOnRandomInstances) {
+  const auto [seed, n] = GetParam();
+  const auto a = sp::random_spd(n, 5, seed);
+  const auto b_full = sp::random_rhs(n, seed + 2000);
+  std::vector<double> x_ref(n, 0.0);
+  const auto ref = sv::cg(a, b_full, x_ref, {.rel_tolerance = 1e-10});
+  ASSERT_TRUE(ref.converged);
+
+  run_spmd(3, [&](Process& proc) {  // deliberately awkward machine size
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::cg_dist<double>(op, b, x, {.rel_tolerance = 1e-10});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref.iterations);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(full[i], x_ref[i], 1e-7);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CgPropertySweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(11, 22, 33, 44, 55),
+                       ::testing::Values<std::size_t>(30, 64)));
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Stationary methods (Jacobi/SOR) and the scatter-from-root construction:
+// correctness, convergence ordering vs CG, and the distributed Jacobi sweep.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hpfcg/solvers/serial.hpp"
+#include "hpfcg/solvers/stationary.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "spmd_test_util.hpp"
+
+namespace sv = hpfcg::solvers;
+namespace sp = hpfcg::sparse;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+TEST(Stationary, JacobiConvergesOnDiagonallyDominantSystem) {
+  const auto a = sp::random_spd(60, 5, 91);  // strictly dominant by build
+  const auto b = sp::random_rhs(60, 92);
+  std::vector<double> x(60, 0.0), x_cg(60, 0.0);
+  const auto res = sv::jacobi_iteration(a, b, x, {.max_iterations = 5000,
+                                                  .rel_tolerance = 1e-9});
+  ASSERT_TRUE(res.converged);
+  const auto cg_res = sv::cg(a, b, x_cg, {.rel_tolerance = 1e-9});
+  ASSERT_TRUE(cg_res.converged);
+  for (std::size_t i = 0; i < 60; ++i) EXPECT_NEAR(x[i], x_cg[i], 1e-6);
+  // CG's "faster convergence rate" (Section 2).
+  EXPECT_LT(cg_res.iterations, res.iterations);
+}
+
+TEST(Stationary, SorBeatsJacobiAndGaussSeidelBeatsNeither) {
+  const auto a = sp::laplacian_2d(12, 12);
+  const auto b = sp::random_rhs(a.n_rows(), 93);
+  const sv::SolveOptions opts{.max_iterations = 20000,
+                              .rel_tolerance = 1e-8};
+  std::vector<double> xj(b.size(), 0.0), xgs(b.size(), 0.0),
+      xsor(b.size(), 0.0);
+  const auto rj = sv::jacobi_iteration(a, b, xj, opts);
+  const auto rgs = sv::sor_iteration(a, b, xgs, 1.0, opts);   // Gauss-Seidel
+  const auto rsor = sv::sor_iteration(a, b, xsor, 1.5, opts);  // over-relaxed
+  ASSERT_TRUE(rj.converged);
+  ASSERT_TRUE(rgs.converged);
+  ASSERT_TRUE(rsor.converged);
+  EXPECT_LT(rgs.iterations, rj.iterations);    // GS ~ half of Jacobi
+  EXPECT_LT(rsor.iterations, rgs.iterations);  // tuned SOR beats GS
+}
+
+TEST(Stationary, SorRejectsBadOmega) {
+  const auto a = sp::tridiagonal(8, 2.0, -1.0);
+  const auto b = sp::random_rhs(8, 1);
+  std::vector<double> x(8, 0.0);
+  EXPECT_THROW((void)sv::sor_iteration(a, b, x, 0.0), hpfcg::util::Error);
+  EXPECT_THROW((void)sv::sor_iteration(a, b, x, 2.0), hpfcg::util::Error);
+}
+
+class StationaryDistTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StationaryDistTest, DistributedJacobiMatchesSerial) {
+  const int np = GetParam();
+  const auto a = sp::random_spd(48, 4, 95);
+  const auto b_full = sp::random_rhs(48, 96);
+  std::vector<double> x_ref(48, 0.0);
+  const auto ref = sv::jacobi_iteration(a, b_full, x_ref,
+                                        {.max_iterations = 5000,
+                                         .rel_tolerance = 1e-8});
+  ASSERT_TRUE(ref.converged);
+  const auto diag = a.diagonal();
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(48, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist),
+        inv_diag(proc, dist);
+    b.from_global(b_full);
+    inv_diag.set_from([&](std::size_t g) { return 1.0 / diag[g]; });
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::jacobi_iteration_dist<double>(
+        op, inv_diag, b, x, {.max_iterations = 5000, .rel_tolerance = 1e-8});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, ref.iterations);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-6);
+    }
+  });
+}
+
+TEST_P(StationaryDistTest, ScatterFromRootMatchesReplicatedBuild) {
+  const int np = GetParam();
+  const auto a = sp::laplacian_2d(9, 8);
+  const std::size_t n = a.n_rows();
+  std::vector<double> p_full(n), q_ref(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    p_full[g] = 0.5 * static_cast<double>(g % 11) - 2.0;
+  }
+  a.matvec(p_full, q_ref);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = std::make_shared<const Distribution>(
+        Distribution::block(n, proc.nprocs()));
+    // Only root "has" the matrix; others pass an empty shell.
+    const sp::Csr<double> empty;
+    const auto mat = sp::DistCsr<double>::scatter_from_root(
+        proc, 0, proc.rank() == 0 ? a : empty, dist);
+    EXPECT_EQ(mat.remote_nnz(), 0u);
+    DistributedVector<double> p(proc, dist), q(proc, dist);
+    p.from_global(p_full);
+    auto mutable_mat = mat;  // matvec is non-const (cache bookkeeping)
+    mutable_mat.matvec(p, q);
+    const auto full = q.to_global();
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(full[i], q_ref[i], 1e-12);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, StationaryDistTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Remaining CSR/CSC API edges: element lookup, diagonals, symmetry
+// tolerance, raw-array constructors, and degenerate shapes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hpfcg/sparse/convert.hpp"
+#include "hpfcg/sparse/csc.hpp"
+#include "hpfcg/sparse/csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+
+namespace sp = hpfcg::sparse;
+
+namespace {
+
+TEST(CsrApi, AtReturnsZeroForAbsentEntries) {
+  const auto a = sp::figure1_matrix();
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(a.at(5, 5), 66.0);
+}
+
+TEST(CsrApi, DiagonalExtractsZerosWhereAbsent) {
+  sp::Coo<double> coo(3, 3);
+  coo.add(0, 0, 5.0);
+  coo.add(1, 2, 1.0);  // no (1,1)
+  coo.add(2, 2, 7.0);
+  const auto a = sp::Csr<double>::from_coo(std::move(coo));
+  const auto d = a.diagonal();
+  EXPECT_EQ(d, (std::vector<double>{5.0, 0.0, 7.0}));
+}
+
+TEST(CsrApi, SymmetryToleranceDistinguishesNearSymmetric) {
+  sp::Coo<double> coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(0, 1, 0.5);
+  coo.add(1, 0, 0.5 + 1e-9);
+  const auto a = sp::Csr<double>::from_coo(std::move(coo));
+  EXPECT_FALSE(a.is_symmetric(0.0));
+  EXPECT_TRUE(a.is_symmetric(1e-8));
+}
+
+TEST(CsrApi, AsymmetricPatternDetected) {
+  sp::Coo<double> coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(0, 1, 0.5);  // no mirror at all
+  const auto a = sp::Csr<double>::from_coo(std::move(coo));
+  EXPECT_FALSE(a.is_symmetric(1.0e-1));
+}
+
+TEST(CsrApi, RawArrayConstructorAcceptsValidInput) {
+  // 2x3 matrix [[1,0,2],[0,3,0]] in raw CSR arrays.
+  const sp::Csr<double> a(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.0);
+  EXPECT_EQ(a.nnz(), 3u);
+  // Rectangular matvec shapes.
+  std::vector<double> p = {1.0, 1.0, 1.0};
+  std::vector<double> q(2);
+  a.matvec(p, q);
+  EXPECT_DOUBLE_EQ(q[0], 3.0);
+  EXPECT_DOUBLE_EQ(q[1], 3.0);
+  std::vector<double> r = {1.0, 1.0};
+  std::vector<double> s(3);
+  a.matvec_transpose(r, s);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+  EXPECT_DOUBLE_EQ(s[2], 2.0);
+}
+
+TEST(CsrApi, EmptyMatrixIsRepresentable) {
+  const sp::Csr<double> a(3, 3, {0, 0, 0, 0}, {}, {});
+  EXPECT_EQ(a.nnz(), 0u);
+  std::vector<double> p(3, 1.0), q(3, 9.0);
+  a.matvec(p, q);
+  for (const double v : q) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(CscApi, ColumnAccessorsAndAt) {
+  const auto csc = sp::csr_to_csc(sp::figure1_matrix());
+  EXPECT_EQ(csc.col_nnz(0), 4u);
+  EXPECT_EQ(csc.col_nnz(2), 1u);
+  EXPECT_DOUBLE_EQ(csc.at(2, 2), 33.0);
+  EXPECT_DOUBLE_EQ(csc.at(0, 3), 0.0);
+  EXPECT_THROW((void)csc.col_nnz(6), hpfcg::util::Error);
+}
+
+TEST(CscApi, DenseRoundTripThroughBothFormats) {
+  const auto a = sp::random_spd(20, 4, 3);
+  const auto csc = sp::csr_to_csc(a);
+  EXPECT_EQ(a.to_dense(), csc.to_dense());
+}
+
+TEST(CsrApi, FromDenseDropsExplicitZerosOnly) {
+  const std::vector<double> dense = {0.0, 1e-300, 0.0, -0.0};
+  const auto a = sp::Csr<double>::from_dense(2, 2, dense);
+  // 1e-300 is tiny but nonzero and must be kept; ±0.0 dropped.
+  EXPECT_EQ(a.nnz(), 1u);
+  EXPECT_EQ(a.at(0, 1), 1e-300);
+}
+
+}  // namespace

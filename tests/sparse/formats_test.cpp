@@ -1,0 +1,200 @@
+// Sparse storage formats (Section 3): the exact Figure 1 example, CSR/CSC
+// construction, round-trips, transposition, and serial matvec kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hpfcg/sparse/convert.hpp"
+#include "hpfcg/sparse/csc.hpp"
+#include "hpfcg/sparse/csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+
+using hpfcg::sparse::Coo;
+using hpfcg::sparse::Csc;
+using hpfcg::sparse::Csr;
+
+namespace {
+
+TEST(Figure1, CscTrioMatchesThePaperExactly) {
+  // Figure 1 of the paper: the 6×6 matrix stored as CSC must produce
+  //   a   = a11 a21 a31 a51 | a12 a22 a42 a62 | a33 | a24 a44 | a15 a55
+  //         | a26 a66
+  //   row = 1 2 3 5 | 1 2 4 6 | 3 | 2 4 | 1 5 | 2 6     (1-based)
+  //   col = 1 5 9 10 12 14 16                            (1-based)
+  const auto csr = hpfcg::sparse::figure1_matrix();
+  const auto csc = hpfcg::sparse::csr_to_csc(csr);
+  ASSERT_EQ(csc.n_rows(), 6u);
+  ASSERT_EQ(csc.n_cols(), 6u);
+  ASSERT_EQ(csc.nnz(), 15u);
+
+  const std::vector<double> expect_a = {11, 21, 31, 51, 12, 22, 42, 62,
+                                        33, 24, 44, 15, 55, 26, 66};
+  const std::vector<std::size_t> expect_row_1based = {1, 2, 3, 5, 1, 2, 4, 6,
+                                                      3, 2, 4, 1, 5, 2, 6};
+  const std::vector<std::size_t> expect_col_1based = {1, 5, 9, 10, 12, 14, 16};
+
+  ASSERT_EQ(csc.values().size(), expect_a.size());
+  for (std::size_t k = 0; k < expect_a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(csc.values()[k], expect_a[k]) << "a[" << k << "]";
+    EXPECT_EQ(csc.row_idx()[k] + 1, expect_row_1based[k]) << "row[" << k << "]";
+  }
+  ASSERT_EQ(csc.col_ptr().size(), expect_col_1based.size());
+  for (std::size_t j = 0; j < expect_col_1based.size(); ++j) {
+    EXPECT_EQ(csc.col_ptr()[j] + 1, expect_col_1based[j]) << "col[" << j << "]";
+  }
+}
+
+TEST(Figure1, DensePatternMatchesThePaper) {
+  const auto dense = hpfcg::sparse::figure1_matrix().to_dense();
+  // Row 1: a11 a12 0 0 a15 0, etc.
+  const double z = 0.0;
+  const std::vector<double> expect = {
+      11, 12, z,  z,  15, z,   //
+      21, 22, z,  24, z,  26,  //
+      31, z,  33, z,  z,  z,   //
+      z,  42, z,  44, z,  z,   //
+      51, z,  z,  z,  55, z,   //
+      z,  62, z,  z,  z,  66,
+  };
+  ASSERT_EQ(dense.size(), expect.size());
+  for (std::size_t k = 0; k < expect.size(); ++k) {
+    EXPECT_DOUBLE_EQ(dense[k], expect[k]) << "entry " << k;
+  }
+}
+
+TEST(Coo, DuplicatesAreSummedByCompress) {
+  Coo<double> coo(3, 3);
+  coo.add(1, 2, 1.5);
+  coo.add(1, 2, 2.5);
+  coo.add(0, 0, 1.0);
+  const auto csr = Csr<double>::from_coo(std::move(coo));
+  EXPECT_EQ(csr.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(csr.at(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(csr.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(csr.at(2, 2), 0.0);
+}
+
+TEST(Coo, SymmetricAssembly) {
+  Coo<double> coo(3, 3);
+  coo.add_sym(0, 1, -2.0);
+  coo.add_sym(2, 2, 5.0);  // diagonal is not duplicated
+  const auto csr = Csr<double>::from_coo(std::move(coo));
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(csr.at(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(csr.at(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(csr.at(2, 2), 5.0);
+}
+
+TEST(Coo, OutOfRangeRejected) {
+  Coo<double> coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), hpfcg::util::Error);
+  EXPECT_THROW(coo.add(0, 2, 1.0), hpfcg::util::Error);
+}
+
+TEST(Csr, RowAccessorsAndValidation) {
+  const auto a = hpfcg::sparse::figure1_matrix();
+  EXPECT_EQ(a.row_nnz(0), 3u);
+  EXPECT_EQ(a.row_nnz(1), 4u);
+  const auto cols = a.row_cols(1);
+  EXPECT_EQ(cols[0], 0u);
+  EXPECT_EQ(cols[3], 5u);
+  EXPECT_THROW((void)a.row_nnz(6), hpfcg::util::Error);
+  // Malformed construction is rejected.
+  EXPECT_THROW(Csr<double>(2, 2, {0, 1}, {0}, {1.0}), hpfcg::util::Error);
+  EXPECT_THROW(Csr<double>(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+               hpfcg::util::Error);
+  EXPECT_THROW(Csr<double>(2, 2, {0, 1, 2}, {0, 5}, {1.0, 2.0}),
+               hpfcg::util::Error);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  const auto a = hpfcg::sparse::laplacian_2d(5, 4);
+  const std::size_t n = a.n_rows();
+  const auto dense = a.to_dense();
+  std::vector<double> p(n), q(n), q_ref(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) p[i] = 0.3 * static_cast<double>(i) - 1;
+  a.matvec(p, q);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) q_ref[i] += dense[i * n + j] * p[j];
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(q[i], q_ref[i], 1e-12);
+}
+
+TEST(Csr, TransposeMatvecMatchesTransposedMatrix) {
+  const auto a = hpfcg::sparse::figure1_matrix();
+  const auto at = hpfcg::sparse::transpose(a);
+  std::vector<double> p = {1, -2, 3, -4, 5, -6};
+  std::vector<double> q1(6), q2(6);
+  a.matvec_transpose(p, q1);
+  at.matvec(p, q2);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(q1[i], q2[i]);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const auto a = hpfcg::sparse::random_spd(40, 5, 42);
+  const auto att = hpfcg::sparse::transpose(hpfcg::sparse::transpose(a));
+  ASSERT_EQ(att.nnz(), a.nnz());
+  EXPECT_EQ(att.row_ptr(), a.row_ptr());
+  EXPECT_EQ(att.col_idx(), a.col_idx());
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    EXPECT_DOUBLE_EQ(att.values()[k], a.values()[k]);
+  }
+}
+
+TEST(Csc, MatvecMatchesCsr) {
+  const auto csr = hpfcg::sparse::laplacian_2d(6, 6);
+  const auto csc = hpfcg::sparse::csr_to_csc(csr);
+  const std::size_t n = csr.n_rows();
+  std::vector<double> p(n), q1(n), q2(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = std::sin(static_cast<double>(i));
+  csr.matvec(p, q1);
+  csc.matvec(p, q2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(q1[i], q2[i], 1e-12);
+}
+
+TEST(Convert, CsrCscRoundTripPreservesMatrix) {
+  const auto a = hpfcg::sparse::random_spd(30, 4, 7);
+  const auto back = hpfcg::sparse::csc_to_csr(hpfcg::sparse::csr_to_csc(a));
+  ASSERT_EQ(back.nnz(), a.nnz());
+  EXPECT_EQ(back.row_ptr(), a.row_ptr());
+  EXPECT_EQ(back.col_idx(), a.col_idx());
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    EXPECT_DOUBLE_EQ(back.values()[k], a.values()[k]);
+  }
+}
+
+TEST(Convert, CscOfTransposeSharesArraysWithCsr) {
+  // The duality the paper leans on: CSR arrays of A == CSC arrays of A^T.
+  const auto a = hpfcg::sparse::figure1_matrix();
+  const auto at_csc = hpfcg::sparse::csr_to_csc(hpfcg::sparse::transpose(a));
+  EXPECT_EQ(at_csc.col_ptr(), a.row_ptr());
+  EXPECT_EQ(at_csc.row_idx(), a.col_idx());
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    EXPECT_DOUBLE_EQ(at_csc.values()[k], a.values()[k]);
+  }
+}
+
+TEST(Csc, ValidationRejectsMalformedArrays) {
+  EXPECT_THROW(Csc<double>(2, 2, {0, 1}, {0}, {1.0}), hpfcg::util::Error);
+  EXPECT_THROW(Csc<double>(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+               hpfcg::util::Error);
+  EXPECT_THROW(Csc<double>(2, 2, {0, 1, 2}, {0, 3}, {1.0, 2.0}),
+               hpfcg::util::Error);
+}
+
+TEST(Csr, EmptyRowsAreRepresentable) {
+  Coo<double> coo(4, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(3, 3, 2.0);
+  const auto csr = Csr<double>::from_coo(std::move(coo));
+  EXPECT_EQ(csr.row_nnz(1), 0u);
+  EXPECT_EQ(csr.row_nnz(2), 0u);
+  std::vector<double> p(4, 1.0), q(4);
+  csr.matvec(p, q);
+  EXPECT_DOUBLE_EQ(q[1], 0.0);
+  EXPECT_DOUBLE_EQ(q[0], 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Workload generators: structural and spectral properties every benchmark
+// depends on (symmetry, positive-definiteness via diagonal dominance,
+// degree distributions, determinism).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpfcg/sparse/generators.hpp"
+
+namespace sp = hpfcg::sparse;
+
+namespace {
+
+TEST(Laplacian2D, StructureAndSymmetry) {
+  const auto a = sp::laplacian_2d(4, 3);
+  ASSERT_EQ(a.n_rows(), 12u);
+  EXPECT_TRUE(a.is_symmetric());
+  // Interior point has 5 entries, corner has 3.
+  EXPECT_EQ(a.row_nnz(5), 5u);   // (1,1) interior for nx=4
+  EXPECT_EQ(a.row_nnz(0), 3u);   // corner
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 4), -1.0);  // north neighbour (y+1)
+  EXPECT_DOUBLE_EQ(a.at(0, 5), 0.0);   // no diagonal coupling
+}
+
+TEST(Laplacian2D, RowSumsVanishInTheInterior) {
+  const auto a = sp::laplacian_2d(5, 5);
+  // Interior row: 4 - 1 - 1 - 1 - 1 = 0; boundary rows are diagonally
+  // dominant (positive row sum) — which is what makes it SPD.
+  const std::size_t interior = 2 * 5 + 2;  // (2,2)
+  double sum = 0.0;
+  for (const double v : a.row_values(interior)) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 0.0);
+  double corner_sum = 0.0;
+  for (const double v : a.row_values(0)) corner_sum += v;
+  EXPECT_GT(corner_sum, 0.0);
+}
+
+TEST(Laplacian3D, StructureAndSymmetry) {
+  const auto a = sp::laplacian_3d(3, 3, 3);
+  ASSERT_EQ(a.n_rows(), 27u);
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_EQ(a.row_nnz(13), 7u);  // center of the cube
+  EXPECT_DOUBLE_EQ(a.at(13, 13), 6.0);
+}
+
+TEST(Tridiagonal, Structure) {
+  const auto a = sp::tridiagonal(5, 2.0, -1.0);
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_EQ(a.nnz(), 13u);  // 5 + 2*4
+  EXPECT_DOUBLE_EQ(a.at(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 4), 0.0);
+}
+
+TEST(RandomSpd, SymmetricAndDiagonallyDominant) {
+  const auto a = sp::random_spd(100, 6, 123);
+  ASSERT_EQ(a.n_rows(), 100u);
+  EXPECT_TRUE(a.is_symmetric(1e-15));
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    double off = 0.0;
+    double diag = 0.0;
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) {
+        diag = vals[k];
+      } else {
+        off += std::abs(vals[k]);
+      }
+    }
+    EXPECT_GT(diag, off) << "row " << i << " not strictly dominant";
+  }
+}
+
+TEST(RandomSpd, DeterministicForFixedSeed) {
+  const auto a = sp::random_spd(50, 4, 99);
+  const auto b = sp::random_spd(50, 4, 99);
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    EXPECT_DOUBLE_EQ(a.values()[k], b.values()[k]);
+  }
+  const auto c = sp::random_spd(50, 4, 100);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(PowerlawSpd, HubRowsAreMuchHeavier) {
+  const auto a = sp::powerlaw_spd(400, 2, 4, 120, 7);
+  EXPECT_TRUE(a.is_symmetric(1e-15));
+  std::size_t max_nnz = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    max_nnz = std::max(max_nnz, a.row_nnz(i));
+    total += a.row_nnz(i);
+  }
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(a.n_rows());
+  // The Section 5.2.2 premise: "the number of elements across rows ...
+  // varies a lot".
+  EXPECT_GT(static_cast<double>(max_nnz), 8.0 * avg);
+}
+
+TEST(DiagonalSpectrum, StoresEigenvaluesOnTheDiagonal) {
+  const auto a = sp::diagonal_spectrum({1.0, 2.0, 2.0, 9.0});
+  EXPECT_EQ(a.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(a.at(3, 3), 9.0);
+  EXPECT_THROW(sp::diagonal_spectrum({1.0, -2.0}), hpfcg::util::Error);
+  EXPECT_THROW(sp::diagonal_spectrum({}), hpfcg::util::Error);
+}
+
+TEST(EmDenseEntry, SymmetricPositiveKernel) {
+  EXPECT_DOUBLE_EQ(sp::em_dense_entry(3, 3, 8.0), 2.0);
+  EXPECT_DOUBLE_EQ(sp::em_dense_entry(1, 5, 8.0), sp::em_dense_entry(5, 1, 8.0));
+  EXPECT_GT(sp::em_dense_entry(0, 1, 8.0), sp::em_dense_entry(0, 10, 8.0));
+}
+
+TEST(RandomRhs, DeterministicAndBounded) {
+  const auto b1 = sp::random_rhs(64, 5);
+  const auto b2 = sp::random_rhs(64, 5);
+  EXPECT_EQ(b1, b2);
+  for (const double v : b1) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace

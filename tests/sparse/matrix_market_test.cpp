@@ -1,0 +1,95 @@
+// Matrix Market I/O: write/read round trips, symmetric expansion, and
+// malformed-input diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/sparse/matrix_market.hpp"
+
+namespace sp = hpfcg::sparse;
+
+namespace {
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const auto a = sp::random_spd(25, 4, 17);
+  std::stringstream ss;
+  sp::write_matrix_market(ss, a);
+  const auto back = sp::read_matrix_market(ss);
+  ASSERT_EQ(back.n_rows(), a.n_rows());
+  ASSERT_EQ(back.nnz(), a.nnz());
+  EXPECT_EQ(back.row_ptr(), a.row_ptr());
+  EXPECT_EQ(back.col_idx(), a.col_idx());
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    EXPECT_DOUBLE_EQ(back.values()[k], a.values()[k]);
+  }
+}
+
+TEST(MatrixMarket, SymmetricFilesAreExpanded) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% lower triangle only\n"
+     << "3 3 4\n"
+     << "1 1 2.0\n"
+     << "2 1 -1.0\n"
+     << "2 2 2.0\n"
+     << "3 3 2.0\n";
+  const auto a = sp::read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 5u);  // the off-diagonal entry is mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(MatrixMarket, CommentsAndIntegerFieldAccepted) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate integer general\n"
+     << "% a comment\n"
+     << "% another comment\n"
+     << "2 2 2\n"
+     << "1 1 3\n"
+     << "2 2 4\n";
+  const auto a = sp::read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+}
+
+TEST(MatrixMarket, MalformedInputRejected) {
+  {
+    std::stringstream ss("not a header\n1 1 1\n1 1 1.0\n");
+    EXPECT_THROW((void)sp::read_matrix_market(ss), hpfcg::util::Error);
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix array real general\n2 2\n1.0\n");
+    EXPECT_THROW((void)sp::read_matrix_market(ss), hpfcg::util::Error);
+  }
+  {
+    // Entry out of declared range.
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+    EXPECT_THROW((void)sp::read_matrix_market(ss), hpfcg::util::Error);
+  }
+  {
+    // Truncated entry list.
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+    EXPECT_THROW((void)sp::read_matrix_market(ss), hpfcg::util::Error);
+  }
+  {
+    EXPECT_THROW((void)sp::read_matrix_market_file("/nonexistent/path.mtx"),
+                 hpfcg::util::Error);
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const auto a = sp::laplacian_2d(4, 4);
+  const std::string path = ::testing::TempDir() + "/hpfcg_mm_test.mtx";
+  sp::write_matrix_market_file(path, a);
+  const auto back = sp::read_matrix_market_file(path);
+  EXPECT_EQ(back.nnz(), a.nnz());
+  EXPECT_TRUE(back.is_symmetric());
+}
+
+}  // namespace
