@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atom_distribution.dir/bench/bench_atom_distribution.cpp.o"
+  "CMakeFiles/bench_atom_distribution.dir/bench/bench_atom_distribution.cpp.o.d"
+  "bench/bench_atom_distribution"
+  "bench/bench_atom_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atom_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

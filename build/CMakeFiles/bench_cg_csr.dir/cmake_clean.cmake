@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cg_csr.dir/bench/bench_cg_csr.cpp.o"
+  "CMakeFiles/bench_cg_csr.dir/bench/bench_cg_csr.cpp.o.d"
+  "bench/bench_cg_csr"
+  "bench/bench_cg_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cg_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cg_phases.dir/bench/bench_cg_phases.cpp.o"
+  "CMakeFiles/bench_cg_phases.dir/bench/bench_cg_phases.cpp.o.d"
+  "bench/bench_cg_phases"
+  "bench/bench_cg_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cg_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

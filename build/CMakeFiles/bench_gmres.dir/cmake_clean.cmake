@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmres.dir/bench/bench_gmres.cpp.o"
+  "CMakeFiles/bench_gmres.dir/bench/bench_gmres.cpp.o.d"
+  "bench/bench_gmres"
+  "bench/bench_gmres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grid2d.dir/bench/bench_grid2d.cpp.o"
+  "CMakeFiles/bench_grid2d.dir/bench/bench_grid2d.cpp.o.d"
+  "bench/bench_grid2d"
+  "bench/bench_grid2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inspector.dir/bench/bench_inspector.cpp.o"
+  "CMakeFiles/bench_inspector.dir/bench/bench_inspector.cpp.o.d"
+  "bench/bench_inspector"
+  "bench/bench_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matvec_colwise.dir/bench/bench_matvec_colwise.cpp.o"
+  "CMakeFiles/bench_matvec_colwise.dir/bench/bench_matvec_colwise.cpp.o.d"
+  "bench/bench_matvec_colwise"
+  "bench/bench_matvec_colwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matvec_colwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_matvec_colwise.
+# This may be replaced when dependencies are built.

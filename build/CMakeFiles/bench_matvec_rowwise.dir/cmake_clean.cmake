@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matvec_rowwise.dir/bench/bench_matvec_rowwise.cpp.o"
+  "CMakeFiles/bench_matvec_rowwise.dir/bench/bench_matvec_rowwise.cpp.o.d"
+  "bench/bench_matvec_rowwise"
+  "bench/bench_matvec_rowwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matvec_rowwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preconditioning.dir/bench/bench_preconditioning.cpp.o"
+  "CMakeFiles/bench_preconditioning.dir/bench/bench_preconditioning.cpp.o.d"
+  "bench/bench_preconditioning"
+  "bench/bench_preconditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preconditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_private_merge.dir/bench/bench_private_merge.cpp.o"
+  "CMakeFiles/bench_private_merge.dir/bench/bench_private_merge.cpp.o.d"
+  "bench/bench_private_merge"
+  "bench/bench_private_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_private_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

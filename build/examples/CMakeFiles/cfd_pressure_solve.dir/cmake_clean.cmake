@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_pressure_solve.dir/cfd_pressure_solve.cpp.o"
+  "CMakeFiles/cfd_pressure_solve.dir/cfd_pressure_solve.cpp.o.d"
+  "cfd_pressure_solve"
+  "cfd_pressure_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_pressure_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electromagnetics_dense.dir/electromagnetics_dense.cpp.o"
+  "CMakeFiles/electromagnetics_dense.dir/electromagnetics_dense.cpp.o.d"
+  "electromagnetics_dense"
+  "electromagnetics_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electromagnetics_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_figure2.dir/hpf_figure2.cpp.o"
+  "CMakeFiles/hpf_figure2.dir/hpf_figure2.cpp.o.d"
+  "hpf_figure2"
+  "hpf_figure2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_figure2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

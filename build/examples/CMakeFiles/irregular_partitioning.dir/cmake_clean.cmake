@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_partitioning.dir/irregular_partitioning.cpp.o"
+  "CMakeFiles/irregular_partitioning.dir/irregular_partitioning.cpp.o.d"
+  "irregular_partitioning"
+  "irregular_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfcg_ext.dir/src/balanced_partition.cpp.o"
+  "CMakeFiles/hpfcg_ext.dir/src/balanced_partition.cpp.o.d"
+  "libhpfcg_ext.a"
+  "libhpfcg_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfcg_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

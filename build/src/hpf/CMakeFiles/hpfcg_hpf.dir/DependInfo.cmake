@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpf/src/directives.cpp" "src/hpf/CMakeFiles/hpfcg_hpf.dir/src/directives.cpp.o" "gcc" "src/hpf/CMakeFiles/hpfcg_hpf.dir/src/directives.cpp.o.d"
+  "/root/repo/src/hpf/src/distribution.cpp" "src/hpf/CMakeFiles/hpfcg_hpf.dir/src/distribution.cpp.o" "gcc" "src/hpf/CMakeFiles/hpfcg_hpf.dir/src/distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msg/CMakeFiles/hpfcg_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpfcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfcg_hpf.dir/src/directives.cpp.o"
+  "CMakeFiles/hpfcg_hpf.dir/src/directives.cpp.o.d"
+  "CMakeFiles/hpfcg_hpf.dir/src/distribution.cpp.o"
+  "CMakeFiles/hpfcg_hpf.dir/src/distribution.cpp.o.d"
+  "libhpfcg_hpf.a"
+  "libhpfcg_hpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfcg_hpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpfcg_hpf.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfcg_msg.dir/src/cost_model.cpp.o"
+  "CMakeFiles/hpfcg_msg.dir/src/cost_model.cpp.o.d"
+  "CMakeFiles/hpfcg_msg.dir/src/mailbox.cpp.o"
+  "CMakeFiles/hpfcg_msg.dir/src/mailbox.cpp.o.d"
+  "CMakeFiles/hpfcg_msg.dir/src/runtime.cpp.o"
+  "CMakeFiles/hpfcg_msg.dir/src/runtime.cpp.o.d"
+  "libhpfcg_msg.a"
+  "libhpfcg_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfcg_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/src/dense_direct.cpp" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/dense_direct.cpp.o" "gcc" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/dense_direct.cpp.o.d"
+  "/root/repo/src/solvers/src/gmres.cpp" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/gmres.cpp.o" "gcc" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/gmres.cpp.o.d"
+  "/root/repo/src/solvers/src/preconditioner.cpp" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/preconditioner.cpp.o" "gcc" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/preconditioner.cpp.o.d"
+  "/root/repo/src/solvers/src/serial.cpp" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/serial.cpp.o" "gcc" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/serial.cpp.o.d"
+  "/root/repo/src/solvers/src/stationary.cpp" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/stationary.cpp.o" "gcc" "src/solvers/CMakeFiles/hpfcg_solvers.dir/src/stationary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/hpfcg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpf/CMakeFiles/hpfcg_hpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hpfcg_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpfcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

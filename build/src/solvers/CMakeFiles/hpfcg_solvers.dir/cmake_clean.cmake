@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfcg_solvers.dir/src/dense_direct.cpp.o"
+  "CMakeFiles/hpfcg_solvers.dir/src/dense_direct.cpp.o.d"
+  "CMakeFiles/hpfcg_solvers.dir/src/gmres.cpp.o"
+  "CMakeFiles/hpfcg_solvers.dir/src/gmres.cpp.o.d"
+  "CMakeFiles/hpfcg_solvers.dir/src/preconditioner.cpp.o"
+  "CMakeFiles/hpfcg_solvers.dir/src/preconditioner.cpp.o.d"
+  "CMakeFiles/hpfcg_solvers.dir/src/serial.cpp.o"
+  "CMakeFiles/hpfcg_solvers.dir/src/serial.cpp.o.d"
+  "CMakeFiles/hpfcg_solvers.dir/src/stationary.cpp.o"
+  "CMakeFiles/hpfcg_solvers.dir/src/stationary.cpp.o.d"
+  "libhpfcg_solvers.a"
+  "libhpfcg_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfcg_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/src/generators.cpp" "src/sparse/CMakeFiles/hpfcg_sparse.dir/src/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/hpfcg_sparse.dir/src/generators.cpp.o.d"
+  "/root/repo/src/sparse/src/matrix_market.cpp" "src/sparse/CMakeFiles/hpfcg_sparse.dir/src/matrix_market.cpp.o" "gcc" "src/sparse/CMakeFiles/hpfcg_sparse.dir/src/matrix_market.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpf/CMakeFiles/hpfcg_hpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hpfcg_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpfcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfcg_sparse.dir/src/generators.cpp.o"
+  "CMakeFiles/hpfcg_sparse.dir/src/generators.cpp.o.d"
+  "CMakeFiles/hpfcg_sparse.dir/src/matrix_market.cpp.o"
+  "CMakeFiles/hpfcg_sparse.dir/src/matrix_market.cpp.o.d"
+  "libhpfcg_sparse.a"
+  "libhpfcg_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfcg_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

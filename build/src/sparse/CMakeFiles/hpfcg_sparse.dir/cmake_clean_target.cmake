@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpfcg_sparse.a"
+)

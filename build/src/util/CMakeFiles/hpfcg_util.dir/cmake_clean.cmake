@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfcg_util.dir/src/cli.cpp.o"
+  "CMakeFiles/hpfcg_util.dir/src/cli.cpp.o.d"
+  "CMakeFiles/hpfcg_util.dir/src/str.cpp.o"
+  "CMakeFiles/hpfcg_util.dir/src/str.cpp.o.d"
+  "CMakeFiles/hpfcg_util.dir/src/table.cpp.o"
+  "CMakeFiles/hpfcg_util.dir/src/table.cpp.o.d"
+  "libhpfcg_util.a"
+  "libhpfcg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfcg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_balanced_partition_test.dir/balanced_partition_test.cpp.o"
+  "CMakeFiles/ext_balanced_partition_test.dir/balanced_partition_test.cpp.o.d"
+  "ext_balanced_partition_test"
+  "ext_balanced_partition_test.pdb"
+  "ext_balanced_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_balanced_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

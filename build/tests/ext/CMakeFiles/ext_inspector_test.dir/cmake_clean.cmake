@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_inspector_test.dir/inspector_test.cpp.o"
+  "CMakeFiles/ext_inspector_test.dir/inspector_test.cpp.o.d"
+  "ext_inspector_test"
+  "ext_inspector_test.pdb"
+  "ext_inspector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_inspector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

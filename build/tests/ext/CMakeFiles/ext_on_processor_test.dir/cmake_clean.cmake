@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_on_processor_test.dir/on_processor_test.cpp.o"
+  "CMakeFiles/ext_on_processor_test.dir/on_processor_test.cpp.o.d"
+  "ext_on_processor_test"
+  "ext_on_processor_test.pdb"
+  "ext_on_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_on_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_private_array_test.dir/private_array_test.cpp.o"
+  "CMakeFiles/ext_private_array_test.dir/private_array_test.cpp.o.d"
+  "ext_private_array_test"
+  "ext_private_array_test.pdb"
+  "ext_private_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_private_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_private_array_test.
+# This may be replaced when dependencies are built.

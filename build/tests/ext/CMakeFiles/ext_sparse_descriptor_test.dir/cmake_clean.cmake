@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sparse_descriptor_test.dir/sparse_descriptor_test.cpp.o"
+  "CMakeFiles/ext_sparse_descriptor_test.dir/sparse_descriptor_test.cpp.o.d"
+  "ext_sparse_descriptor_test"
+  "ext_sparse_descriptor_test.pdb"
+  "ext_sparse_descriptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sparse_descriptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

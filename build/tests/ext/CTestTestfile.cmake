@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ext
+# Build directory: /root/repo/build/tests/ext
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ext/ext_private_array_test[1]_include.cmake")
+include("/root/repo/build/tests/ext/ext_on_processor_test[1]_include.cmake")
+include("/root/repo/build/tests/ext/ext_atom_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/ext/ext_balanced_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/ext/ext_sparse_descriptor_test[1]_include.cmake")
+include("/root/repo/build/tests/ext/ext_inspector_test[1]_include.cmake")

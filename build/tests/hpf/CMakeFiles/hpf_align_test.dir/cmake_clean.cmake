@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_align_test.dir/align_test.cpp.o"
+  "CMakeFiles/hpf_align_test.dir/align_test.cpp.o.d"
+  "hpf_align_test"
+  "hpf_align_test.pdb"
+  "hpf_align_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

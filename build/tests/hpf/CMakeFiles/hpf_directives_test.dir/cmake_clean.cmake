@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_directives_test.dir/directives_test.cpp.o"
+  "CMakeFiles/hpf_directives_test.dir/directives_test.cpp.o.d"
+  "hpf_directives_test"
+  "hpf_directives_test.pdb"
+  "hpf_directives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_directives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

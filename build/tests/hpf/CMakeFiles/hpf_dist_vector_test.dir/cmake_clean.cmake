@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_dist_vector_test.dir/dist_vector_test.cpp.o"
+  "CMakeFiles/hpf_dist_vector_test.dir/dist_vector_test.cpp.o.d"
+  "hpf_dist_vector_test"
+  "hpf_dist_vector_test.pdb"
+  "hpf_dist_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_dist_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

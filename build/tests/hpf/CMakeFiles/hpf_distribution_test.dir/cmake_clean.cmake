@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_distribution_test.dir/distribution_test.cpp.o"
+  "CMakeFiles/hpf_distribution_test.dir/distribution_test.cpp.o.d"
+  "hpf_distribution_test"
+  "hpf_distribution_test.pdb"
+  "hpf_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_forall_test.dir/forall_test.cpp.o"
+  "CMakeFiles/hpf_forall_test.dir/forall_test.cpp.o.d"
+  "hpf_forall_test"
+  "hpf_forall_test.pdb"
+  "hpf_forall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_forall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_grid2d_test.dir/grid2d_test.cpp.o"
+  "CMakeFiles/hpf_grid2d_test.dir/grid2d_test.cpp.o.d"
+  "hpf_grid2d_test"
+  "hpf_grid2d_test.pdb"
+  "hpf_grid2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_grid2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_intrinsics_extra_test.dir/intrinsics_extra_test.cpp.o"
+  "CMakeFiles/hpf_intrinsics_extra_test.dir/intrinsics_extra_test.cpp.o.d"
+  "hpf_intrinsics_extra_test"
+  "hpf_intrinsics_extra_test.pdb"
+  "hpf_intrinsics_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_intrinsics_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_matvec_dense_test.dir/matvec_dense_test.cpp.o"
+  "CMakeFiles/hpf_matvec_dense_test.dir/matvec_dense_test.cpp.o.d"
+  "hpf_matvec_dense_test"
+  "hpf_matvec_dense_test.pdb"
+  "hpf_matvec_dense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_matvec_dense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

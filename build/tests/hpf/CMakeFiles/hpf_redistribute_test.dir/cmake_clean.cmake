@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_redistribute_test.dir/redistribute_test.cpp.o"
+  "CMakeFiles/hpf_redistribute_test.dir/redistribute_test.cpp.o.d"
+  "hpf_redistribute_test"
+  "hpf_redistribute_test.pdb"
+  "hpf_redistribute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_redistribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

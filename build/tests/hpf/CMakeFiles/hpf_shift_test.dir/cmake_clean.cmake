@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_shift_test.dir/shift_test.cpp.o"
+  "CMakeFiles/hpf_shift_test.dir/shift_test.cpp.o.d"
+  "hpf_shift_test"
+  "hpf_shift_test.pdb"
+  "hpf_shift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_shift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hpf
+# Build directory: /root/repo/build/tests/hpf
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hpf/hpf_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_dist_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_intrinsics_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_matvec_dense_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_redistribute_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_forall_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_grid2d_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_directives_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_intrinsics_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_shift_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf/hpf_align_test[1]_include.cmake")

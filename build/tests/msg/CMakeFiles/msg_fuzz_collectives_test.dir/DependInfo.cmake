@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/msg/fuzz_collectives_test.cpp" "tests/msg/CMakeFiles/msg_fuzz_collectives_test.dir/fuzz_collectives_test.cpp.o" "gcc" "tests/msg/CMakeFiles/msg_fuzz_collectives_test.dir/fuzz_collectives_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/hpfcg_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/hpfcg_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/hpfcg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpf/CMakeFiles/hpfcg_hpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hpfcg_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpfcg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_phase_profile_test.dir/phase_profile_test.cpp.o"
+  "CMakeFiles/msg_phase_profile_test.dir/phase_profile_test.cpp.o.d"
+  "msg_phase_profile_test"
+  "msg_phase_profile_test.pdb"
+  "msg_phase_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_phase_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_point_to_point_test.dir/point_to_point_test.cpp.o"
+  "CMakeFiles/msg_point_to_point_test.dir/point_to_point_test.cpp.o.d"
+  "msg_point_to_point_test"
+  "msg_point_to_point_test.pdb"
+  "msg_point_to_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_point_to_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

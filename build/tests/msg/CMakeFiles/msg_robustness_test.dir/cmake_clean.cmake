@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_robustness_test.dir/robustness_test.cpp.o"
+  "CMakeFiles/msg_robustness_test.dir/robustness_test.cpp.o.d"
+  "msg_robustness_test"
+  "msg_robustness_test.pdb"
+  "msg_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/msg
+# Build directory: /root/repo/build/tests/msg
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/msg/msg_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/msg/msg_point_to_point_test[1]_include.cmake")
+include("/root/repo/build/tests/msg/msg_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/msg/msg_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/msg/msg_fuzz_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/msg/msg_phase_profile_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_convergence_theory_test.dir/convergence_theory_test.cpp.o"
+  "CMakeFiles/solvers_convergence_theory_test.dir/convergence_theory_test.cpp.o.d"
+  "solvers_convergence_theory_test"
+  "solvers_convergence_theory_test.pdb"
+  "solvers_convergence_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_convergence_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

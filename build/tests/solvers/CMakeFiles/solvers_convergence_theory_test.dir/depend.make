@@ -1,0 +1,2 @@
+# Empty dependencies file for solvers_convergence_theory_test.
+# This may be replaced when dependencies are built.

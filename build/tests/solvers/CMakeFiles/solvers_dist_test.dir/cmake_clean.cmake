@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_dist_test.dir/dist_solvers_test.cpp.o"
+  "CMakeFiles/solvers_dist_test.dir/dist_solvers_test.cpp.o.d"
+  "solvers_dist_test"
+  "solvers_dist_test.pdb"
+  "solvers_dist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

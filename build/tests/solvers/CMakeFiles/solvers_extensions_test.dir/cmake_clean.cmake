@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_extensions_test.dir/extensions_test.cpp.o"
+  "CMakeFiles/solvers_extensions_test.dir/extensions_test.cpp.o.d"
+  "solvers_extensions_test"
+  "solvers_extensions_test.pdb"
+  "solvers_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_gmres_test.dir/gmres_test.cpp.o"
+  "CMakeFiles/solvers_gmres_test.dir/gmres_test.cpp.o.d"
+  "solvers_gmres_test"
+  "solvers_gmres_test.pdb"
+  "solvers_gmres_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_gmres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

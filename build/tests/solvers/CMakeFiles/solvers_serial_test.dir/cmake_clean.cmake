@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_serial_test.dir/serial_solvers_test.cpp.o"
+  "CMakeFiles/solvers_serial_test.dir/serial_solvers_test.cpp.o.d"
+  "solvers_serial_test"
+  "solvers_serial_test.pdb"
+  "solvers_serial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_stationary_test.dir/stationary_test.cpp.o"
+  "CMakeFiles/solvers_stationary_test.dir/stationary_test.cpp.o.d"
+  "solvers_stationary_test"
+  "solvers_stationary_test.pdb"
+  "solvers_stationary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_stationary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

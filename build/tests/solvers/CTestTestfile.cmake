@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/solvers
+# Build directory: /root/repo/build/tests/solvers
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/solvers/solvers_serial_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers/solvers_convergence_theory_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers/solvers_dist_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers/solvers_gmres_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers/solvers_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers/solvers_property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers/solvers_stationary_test[1]_include.cmake")

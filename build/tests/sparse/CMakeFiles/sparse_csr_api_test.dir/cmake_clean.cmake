@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_csr_api_test.dir/csr_api_test.cpp.o"
+  "CMakeFiles/sparse_csr_api_test.dir/csr_api_test.cpp.o.d"
+  "sparse_csr_api_test"
+  "sparse_csr_api_test.pdb"
+  "sparse_csr_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_csr_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

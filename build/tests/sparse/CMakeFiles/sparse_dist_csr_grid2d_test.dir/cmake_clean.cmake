@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_dist_csr_grid2d_test.dir/dist_csr_grid2d_test.cpp.o"
+  "CMakeFiles/sparse_dist_csr_grid2d_test.dir/dist_csr_grid2d_test.cpp.o.d"
+  "sparse_dist_csr_grid2d_test"
+  "sparse_dist_csr_grid2d_test.pdb"
+  "sparse_dist_csr_grid2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_dist_csr_grid2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

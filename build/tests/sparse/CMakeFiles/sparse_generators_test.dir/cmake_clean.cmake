@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_generators_test.dir/generators_test.cpp.o"
+  "CMakeFiles/sparse_generators_test.dir/generators_test.cpp.o.d"
+  "sparse_generators_test"
+  "sparse_generators_test.pdb"
+  "sparse_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

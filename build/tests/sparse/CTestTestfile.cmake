@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sparse
+# Build directory: /root/repo/build/tests/sparse
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sparse/sparse_formats_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse/sparse_generators_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse/sparse_matrix_market_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse/sparse_dist_sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse/sparse_dist_csr_grid2d_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse/sparse_csr_api_test[1]_include.cmake")
