@@ -26,3 +26,4 @@ hpfcg_add_bench(bench_gmres)
 hpfcg_add_bench(bench_cg_phases)
 hpfcg_add_bench(bench_stencil)
 hpfcg_add_bench(bench_inspector)
+hpfcg_add_bench(bench_check_overhead)

@@ -1,0 +1,56 @@
+#include "hpfcg/check/check.hpp"
+
+#ifdef HPFCG_CHECK_ENABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hpfcg::check {
+
+namespace {
+
+bool env_truthy(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+         std::strcmp(v, "ON") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "TRUE") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_truthy("HPFCG_CHECK", false)};
+  return flag;
+}
+
+std::atomic<std::int64_t>& timeout_flag() {
+  static std::atomic<std::int64_t> ms{[] {
+    const char* v = std::getenv("HPFCG_CHECK_TIMEOUT_MS");
+    if (v != nullptr) {
+      const long long parsed = std::atoll(v);
+      if (parsed > 0) return static_cast<std::int64_t>(parsed);
+    }
+    return static_cast<std::int64_t>(20000);
+  }()};
+  return ms;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::int64_t watchdog_timeout_ms() {
+  return timeout_flag().load(std::memory_order_relaxed);
+}
+
+void set_watchdog_timeout_ms(std::int64_t ms) {
+  timeout_flag().store(ms, std::memory_order_relaxed);
+}
+
+}  // namespace hpfcg::check
+
+#endif  // HPFCG_CHECK_ENABLED

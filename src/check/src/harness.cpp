@@ -1,0 +1,53 @@
+#include "hpfcg/check/harness.hpp"
+
+#include <sstream>
+
+namespace hpfcg::check {
+
+bool Harness::anyone_waiting() const {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  for (const auto& w : waits_) {
+    if (w.kind != WaitKind::kNone) return true;
+  }
+  return false;
+}
+
+std::string Harness::dump_wait_state() const {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  std::ostringstream os;
+  for (int r = 0; r < nprocs_; ++r) {
+    const auto& w = waits_[static_cast<std::size_t>(r)];
+    os << "  rank " << r << ": ";
+    switch (w.kind) {
+      case WaitKind::kNone:
+        os << "running (not blocked in the runtime)";
+        break;
+      case WaitKind::kRecv:
+        os << "blocked in recv(src=";
+        if (w.src < 0) {
+          os << "any";
+        } else {
+          os << w.src;
+        }
+        os << ", tag=" << w.tag << ")";
+        break;
+      case WaitKind::kBarrier:
+        os << "blocked in barrier";
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Harness::report_violation(std::string msg) {
+  std::lock_guard<std::mutex> lock(viol_mu_);
+  violations_.push_back(std::move(msg));
+}
+
+std::vector<std::string> Harness::violations() const {
+  std::lock_guard<std::mutex> lock(viol_mu_);
+  return violations_;
+}
+
+}  // namespace hpfcg::check

@@ -17,8 +17,11 @@
 
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "hpfcg/check/check.hpp"
+#include "hpfcg/check/harness.hpp"
 #include "hpfcg/hpf/dist_vector.hpp"
 #include "hpfcg/msg/process.hpp"
 #include "hpfcg/util/error.hpp"
@@ -37,12 +40,43 @@ class PrivateArray {
   PrivateArray(msg::Process& proc, std::size_t n, T init = T{})
       : proc_(&proc), data_(n, init) {}
 
+  PrivateArray(const PrivateArray&) = delete;
+  PrivateArray& operator=(const PrivateArray&) = delete;
+  PrivateArray(PrivateArray&& o) noexcept
+      : proc_(o.proc_), data_(std::move(o.data_)), ended_(o.ended_) {
+    o.ended_ = PrivateEnd::kDiscarded;  // moved-from shell owes no merge
+  }
+
+  /// Leak audit (checking only): a region that reaches end of scope still
+  /// pending was neither merged nor discarded — its per-processor updates
+  /// silently never published (the Scenario-2 race the paper's MERGE
+  /// discipline exists to prevent).  Destructors cannot throw, so this is
+  /// reported to the harness and surfaced by the runtime's teardown audit.
+  ~PrivateArray() {
+    if (check::kCompiled && check::enabled() &&
+        ended_ == PrivateEnd::kPending) {
+      if (auto* h = proc_->runtime().checker()) {
+        h->report_violation(
+            "rank " + std::to_string(proc_->rank()) +
+            " leaked a private region (length " + std::to_string(size()) +
+            ") that was never merged or discarded — its updates were "
+            "never published");
+      }
+    }
+  }
+
   [[nodiscard]] std::size_t size() const { return data_.size(); }
-  [[nodiscard]] std::span<T> local() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<T> local() {
+    trap_write_after_end();
+    return {data_.data(), data_.size()};
+  }
   [[nodiscard]] std::span<const T> local() const {
     return {data_.data(), data_.size()};
   }
-  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    trap_write_after_end();
+    return data_[i];
+  }
   [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
 
   [[nodiscard]] PrivateEnd ended() const { return ended_; }
@@ -82,6 +116,20 @@ class PrivateArray {
   }
 
  private:
+  /// Checking only: a mutable access after MERGE/DISCARD can never publish
+  /// (the merge already happened) — trap it instead of losing the update.
+  void trap_write_after_end() const {
+    if (check::kCompiled && check::enabled() &&
+        ended_ != PrivateEnd::kPending) {
+      throw util::Error(
+          "hpfcg::check: merge-before-publish violation: rank " +
+          std::to_string(proc_->rank()) +
+          " wrote to a private array after its region ended (" +
+          (ended_ == PrivateEnd::kMerged ? "merged" : "discarded") +
+          ") — the update can never be published");
+    }
+  }
+
   msg::Process* proc_;
   std::vector<T> data_;
   PrivateEnd ended_ = PrivateEnd::kPending;

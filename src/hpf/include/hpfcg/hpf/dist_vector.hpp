@@ -10,9 +10,11 @@
 
 #include <functional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "hpfcg/check/check.hpp"
 #include "hpfcg/hpf/distribution.hpp"
 #include "hpfcg/msg/process.hpp"
 #include "hpfcg/util/error.hpp"
@@ -53,13 +55,16 @@ class DistributedVector {
     return dist_->owner(g) == proc_->rank();
   }
 
-  /// Owner-side access to a global element (caller must own it).
+  /// Owner-side access to a global element (caller must own it).  An
+  /// out-of-shard access is the paper's silent-corruption hazard: with
+  /// checking enabled the trap names both the offending and the owning
+  /// rank.
   [[nodiscard]] T& at_global(std::size_t g) {
-    HPFCG_REQUIRE(owns(g), "at_global: element not owned by this rank");
+    if (!owns(g)) ownership_fail(g, /*write=*/true);
     return local_[dist_->local_index(g)];
   }
   [[nodiscard]] const T& at_global(std::size_t g) const {
-    HPFCG_REQUIRE(owns(g), "at_global: element not owned by this rank");
+    if (!owns(g)) ownership_fail(g, /*write=*/false);
     return local_[dist_->local_index(g)];
   }
 
@@ -121,6 +126,18 @@ class DistributedVector {
   }
 
  private:
+  [[noreturn]] void ownership_fail(std::size_t g, bool write) const {
+    if (check::kCompiled && check::enabled()) {
+      throw util::Error(
+          "hpfcg::check: ownership violation: rank " +
+          std::to_string(proc_->rank()) + " attempted an out-of-shard " +
+          (write ? "write to" : "read of") + " global index " +
+          std::to_string(g) + ", which is owned by rank " +
+          std::to_string(dist_->owner(g)));
+    }
+    HPFCG_REQUIRE(false, "at_global: element not owned by this rank");
+  }
+
   msg::Process* proc_;
   DistPtr dist_;
   std::vector<T> local_;

@@ -46,6 +46,14 @@ class Mailbox {
   /// Number of queued messages (for tests / diagnostics).
   std::size_t pending() const;
 
+  /// Summary of every queued message, for the hpfcg::check teardown audit.
+  struct PendingInfo {
+    int src = 0;
+    int tag = 0;
+    std::size_t bytes = 0;
+  };
+  std::vector<PendingInfo> pending_info() const;
+
   /// Poison the mailbox: wake all waiters, make every receive throw.
   void abort();
 

@@ -14,6 +14,7 @@
 // per-rank maximum approximates the machine's critical path.
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <numeric>
@@ -21,6 +22,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "hpfcg/check/check.hpp"
+#include "hpfcg/check/harness.hpp"
 #include "hpfcg/msg/runtime.hpp"
 #include "hpfcg/util/error.hpp"
 
@@ -69,7 +72,9 @@ class Process {
     Envelope env = recv_bytes(src, tag);
     HPFCG_REQUIRE(env.payload.size() == out.size_bytes(),
                   "recv: message length mismatch");
-    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    if (!env.payload.empty()) {  // empty span data() may be null (UB to copy)
+      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    }
   }
 
   /// Blocking receive of a whole message as a vector.
@@ -80,7 +85,9 @@ class Process {
     HPFCG_REQUIRE(env.payload.size() % sizeof(T) == 0,
                   "recv: message is not a whole number of elements");
     std::vector<T> out(env.payload.size() / sizeof(T));
-    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    if (!out.empty()) {
+      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    }
     return out;
   }
 
@@ -91,7 +98,9 @@ class Process {
     HPFCG_REQUIRE(env.payload.size() % sizeof(T) == 0,
                   "recv_any: message is not a whole number of elements");
     std::vector<T> out(env.payload.size() / sizeof(T));
-    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    if (!out.empty()) {
+      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    }
     return out;
   }
 
@@ -107,16 +116,24 @@ class Process {
 
   /// Synchronize all processors.
   void barrier() {
+    conform(check::CollectiveKind::kBarrier, check::kNoRoot, 0, 0);
     auto& s = stats();
     ++s.barriers;
     s.modeled_comm_seconds += cost().barrier_time();
+    check::Harness* h = rt_.checker();
+    if (h != nullptr) h->begin_wait(rank_, check::WaitKind::kBarrier);
     rt_.barrier_wait();
+    if (h != nullptr) h->end_wait(rank_);
   }
 
   /// Binomial-tree broadcast: `buf` is input on `root`, output elsewhere.
   template <class T>
   void broadcast(int root, std::vector<T>& buf) {
     const int p = nprocs();
+    // Non-root ranks cannot know the length (it travels in the header), so
+    // the fingerprint pins it only on the root.
+    conform(check::CollectiveKind::kBroadcast, root, sizeof(T),
+            rank_ == root ? buf.size() : check::kUnknownCount);
     const int seq = next_collective();
     if (p == 1) return;
     std::size_t len = buf.size();
@@ -149,6 +166,7 @@ class Process {
   template <class T>
   void broadcast_into(int root, std::span<T> buf) {
     const int p = nprocs();
+    conform(check::CollectiveKind::kBroadcast, root, sizeof(T), buf.size());
     const int seq = next_collective();
     if (p == 1) return;
     const int vr = rel_rank(root);
@@ -181,6 +199,7 @@ class Process {
   template <class T, class Op = std::plus<T>>
   T reduce(int root, T value, Op op = {}) {
     const int p = nprocs();
+    conform(check::CollectiveKind::kReduce, root, sizeof(T), 1);
     const int seq = next_collective();
     const int vr = rel_rank(root);
     int mask = 1;
@@ -213,6 +232,8 @@ class Process {
   template <class T, class Op = std::plus<T>>
   void allreduce_vec(std::vector<T>& buf, Op op = {}) {
     const int p = nprocs();
+    conform(check::CollectiveKind::kAllreduceVec, check::kNoRoot, sizeof(T),
+            buf.size());
     const int seq = next_collective();
     if (p == 1) return;
     const std::size_t n = buf.size();
@@ -275,6 +296,9 @@ class Process {
 
     std::vector<std::size_t> offset(counts.size() + 1, 0);
     std::partial_sum(counts.begin(), counts.end(), offset.begin() + 1);
+    // Local block sizes legitimately differ; the global total must agree.
+    conform(check::CollectiveKind::kAllgatherv, check::kNoRoot, sizeof(T),
+            offset.back());
     out.assign(offset.back(), T{});
     std::copy(local.begin(), local.end(),
               out.begin() + static_cast<std::ptrdiff_t>(
@@ -326,6 +350,10 @@ class Process {
     const int p = nprocs();
     HPFCG_REQUIRE(static_cast<int>(counts.size()) == p,
                   "gatherv: counts must have one entry per rank");
+    if (rt_.checker() != nullptr) {
+      conform(check::CollectiveKind::kGatherv, root, sizeof(T),
+              std::accumulate(counts.begin(), counts.end(), std::size_t{0}));
+    }
     const int seq = next_collective();
     if (rank_ == root) {
       std::vector<std::size_t> offset(counts.size() + 1, 0);
@@ -354,6 +382,10 @@ class Process {
     const int p = nprocs();
     HPFCG_REQUIRE(static_cast<int>(counts.size()) == p,
                   "scatterv: counts must have one entry per rank");
+    if (rt_.checker() != nullptr) {
+      conform(check::CollectiveKind::kScatterv, root, sizeof(T),
+              std::accumulate(counts.begin(), counts.end(), std::size_t{0}));
+    }
     const int seq = next_collective();
     std::vector<T> mine(counts[static_cast<std::size_t>(rank_)]);
     if (rank_ == root) {
@@ -384,6 +416,10 @@ class Process {
     const int p = nprocs();
     HPFCG_REQUIRE(static_cast<int>(send_blocks.size()) == p,
                   "alltoallv: need one block per destination rank");
+    // Per-destination block sizes are legitimately rank-specific; only the
+    // kind and element size are conformable.
+    conform(check::CollectiveKind::kAlltoallv, check::kNoRoot, sizeof(T),
+            check::kUnknownCount);
     const int seq = next_collective();
     std::vector<std::vector<T>> recv_blocks(static_cast<std::size_t>(p));
     recv_blocks[static_cast<std::size_t>(rank_)] =
@@ -405,6 +441,7 @@ class Process {
   T exscan(T value, Op op = {}) {
     // Simple linear scan: rank r receives the prefix from r-1, forwards
     // prefix ⊕ value to r+1.  Cost O(P) start-ups; used only in setup paths.
+    conform(check::CollectiveKind::kExscan, check::kNoRoot, sizeof(T), 1);
     const int seq = next_collective();
     T prefix{};
     if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, coll_tag(seq, 0));
@@ -412,6 +449,22 @@ class Process {
       send_value<T>(rank_ + 1, coll_tag(seq, 0), op(prefix, value));
     }
     return prefix;
+  }
+
+  /// hpfcg::check hook: assert that a structure this rank built locally
+  /// (e.g. a replicated matrix every rank assembles from the same source)
+  /// is bit-identical machine-wide, by posting its content fingerprint to
+  /// the conformance ledger.  No-op when checking is inactive; callers
+  /// should guard fingerprint computation with checking_active().
+  void conform_replicated(std::size_t fingerprint) {
+    if (fingerprint == check::kUnknownCount) fingerprint = 0;  // avoid wildcard
+    conform(check::CollectiveKind::kReplicatedBuild, check::kNoRoot, 0,
+            fingerprint);
+  }
+
+  /// True when the verification harness is observing this machine.
+  [[nodiscard]] bool checking_active() const {
+    return rt_.checker() != nullptr;
   }
 
   /// Advance this rank's modeled clock to at least `t` seconds, booking the
@@ -429,6 +482,7 @@ class Process {
   /// sees the serialization: rank r's modeled time includes all of ranks
   /// 0..r-1's time inside the chain.
   void sequential(const std::function<void()>& f) {
+    conform(check::CollectiveKind::kSequential, check::kNoRoot, 0, 0);
     const int seq = next_collective();
     if (rank_ > 0) {
       const double pred_clock =
@@ -456,6 +510,18 @@ class Process {
     return coll_seq_++;
   }
 
+  /// hpfcg::check hook: post this rank's collective fingerprint to the
+  /// conformance ledger (side channel — no messages, no Stats mutation).
+  /// Throws util::Error naming the divergent rank on mismatch.
+  void conform(check::CollectiveKind kind, int root, std::size_t elem,
+               std::size_t count) {
+    check::Harness* h = rt_.checker();
+    if (h != nullptr) {
+      h->on_collective(rank_, conf_seq_++,
+                       check::CollectiveRecord{kind, root, elem, count});
+    }
+  }
+
   /// Collective-internal tags live above the user tag space.
   static int coll_tag(int seq, int step) {
     return 0x40000000 | ((seq & 0x3FFFFF) << 8) | (step & 0xFF);
@@ -473,10 +539,15 @@ class Process {
     s.bytes_sent += bytes;
     if (dst != rank_) s.modeled_comm_seconds += cost().params().t_startup;
     rt_.mailbox(dst).deposit(std::move(env));
+    check::Harness* h = rt_.checker();
+    if (h != nullptr) h->note_progress();
   }
 
   Envelope recv_bytes(int src, int tag, int* src_out = nullptr) {
+    check::Harness* h = rt_.checker();
+    if (h != nullptr) h->begin_wait(rank_, check::WaitKind::kRecv, src, tag);
     Envelope env = rt_.mailbox(rank_).receive(src, tag);
+    if (h != nullptr) h->end_wait(rank_);
     auto& s = stats();
     ++s.messages_received;
     s.bytes_received += env.payload.size();
@@ -492,6 +563,9 @@ class Process {
   Runtime& rt_;
   int rank_;
   int coll_seq_ = 0;
+  /// Conformance-relevant op count (collectives + barriers), advanced only
+  /// while a check harness is attached; independent of the tag space.
+  std::uint64_t conf_seq_ = 0;
 };
 
 }  // namespace hpfcg::msg

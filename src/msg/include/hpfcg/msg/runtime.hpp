@@ -5,8 +5,11 @@
 // target: a single program body runs on every processor with its own rank
 // and private memory, communicating only through messages and collectives
 // (see process.hpp).  Runtime owns the mailboxes (the network), the barrier,
-// the cost model, and per-rank instrumentation.
+// the cost model, per-rank instrumentation, and — when hpfcg::check is
+// enabled — the verification harness (collective-conformance ledger,
+// deadlock watchdog, teardown audit).
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -14,6 +17,8 @@
 #include <mutex>
 #include <vector>
 
+#include "hpfcg/check/check.hpp"
+#include "hpfcg/check/harness.hpp"
 #include "hpfcg/msg/cost_model.hpp"
 #include "hpfcg/msg/mailbox.hpp"
 #include "hpfcg/msg/stats.hpp"
@@ -27,6 +32,8 @@ class Process;
 class Runtime {
  public:
   /// `nprocs` simulated processors with the given cost model parameters.
+  /// Samples check::enabled() here: the verification harness exists for the
+  /// machine's whole lifetime or not at all.
   explicit Runtime(int nprocs, CostParams params = {},
                    Topology topo = Topology::kHypercube);
 
@@ -35,13 +42,17 @@ class Runtime {
 
   /// Execute `body` on every simulated processor concurrently and join.
   /// The first exception thrown by any processor aborts the whole machine
-  /// (blocked receives/barriers unwind) and is rethrown here.
+  /// (blocked receives/barriers unwind) and is rethrown here.  With checking
+  /// enabled, a watchdog converts deadlocks into diagnostics and a teardown
+  /// audit reports unreceived messages and recorded violations.
   void run(const std::function<void(Process&)>& body);
 
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] const CostModel& cost() const { return cost_; }
 
-  /// Instrumentation for one rank.
+  /// Instrumentation for one rank.  Aggregation across ranks is only sound
+  /// once every processor has synchronized (Stats is not thread-safe by
+  /// design), so cross-rank reads are rejected while a run is in flight.
   [[nodiscard]] const Stats& stats(int rank) const;
 
   /// Sum of all ranks' counters.
@@ -59,11 +70,25 @@ class Runtime {
   void abort_all();
   [[nodiscard]] bool aborted() const { return aborted_; }
 
+  /// Verification harness, or nullptr when checking is off.  When the check
+  /// layer is compiled out this folds to a constant nullptr, so every hook
+  /// site (`if (auto* h = rt.checker())`) is dead code.
+  [[nodiscard]] check::Harness* checker() const {
+    if constexpr (!check::kCompiled) return nullptr;
+    return checker_.get();
+  }
+
  private:
+  void audit_teardown() const;
+
   int nprocs_;
   CostModel cost_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<Stats> stats_;
+  std::unique_ptr<check::Harness> checker_;
+
+  /// True between run() entry and join; guards cross-rank Stats aggregation.
+  std::atomic<bool> running_{false};
 
   // Sense-reversing central barrier with abort support.
   std::mutex barrier_mu_;

@@ -48,6 +48,16 @@ std::size_t Mailbox::pending() const {
   return queue_.size();
 }
 
+std::vector<Mailbox::PendingInfo> Mailbox::pending_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingInfo> out;
+  out.reserve(queue_.size());
+  for (const auto& env : queue_) {
+    out.push_back(PendingInfo{env.src, env.tag, env.payload.size()});
+  }
+  return out;
+}
+
 void Mailbox::abort() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -12,10 +12,15 @@
 // SPARSE_MATRIX descriptor lets the compiler cache the fetched entries
 // (enable_caching()), since the trio is known immutable.
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "hpfcg/check/check.hpp"
 #include "hpfcg/hpf/dist_vector.hpp"
 #include "hpfcg/hpf/distribution.hpp"
 #include "hpfcg/msg/process.hpp"
@@ -42,6 +47,13 @@ class DistCsr {
     HPFCG_REQUIRE(row_dist_->size() == n_, "DistCsr: row dist size mismatch");
     HPFCG_REQUIRE(nnz_dist_->size() == a.nnz(),
                   "DistCsr: nnz dist size mismatch");
+
+    // Checking only: every rank builds `a` locally, so rank-divergent
+    // assembly (an SPMD bug) silently computes with different matrices.
+    // Conform a content fingerprint so the divergent rank is named instead.
+    if (proc.checking_active()) {
+      proc.conform_replicated(structure_fingerprint(a));
+    }
 
     const auto [row_lo, row_hi] = row_dist_->local_range(proc.rank());
     row_lo_ = row_lo;
@@ -171,6 +183,7 @@ class DistCsr {
     check_vectors(p, q);
     const std::vector<T> full_p = p.to_global();
     assemble();
+    audit_structure();
     const std::size_t base = plan_.needed().begin;
     auto ql = q.local();
     std::size_t flops = 0;
@@ -196,6 +209,7 @@ class DistCsr {
                         hpf::DistributedVector<T>& q) {
     check_vectors(p, q);
     assemble();
+    audit_structure();
     const std::size_t base = plan_.needed().begin;
     std::vector<T> q_priv(n_, T{});
     std::size_t flops = 0;
@@ -231,6 +245,25 @@ class DistCsr {
     row_lo_ = row_dist_->local_range(proc.rank()).first;
   }
 
+  /// FNV-1a over the trio's content — cheap relative to a build, computed
+  /// only when checking is active.
+  static std::size_t structure_fingerprint(const Csr<T>& a) {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(a.n_rows());
+    for (const std::size_t r : a.row_ptr()) mix(r);
+    for (const std::size_t c : a.col_idx()) mix(c);
+    for (const T& v : a.values()) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, std::min(sizeof(T), sizeof(bits)));
+      mix(bits);
+    }
+    return static_cast<std::size_t>(h);
+  }
+
   void check_vectors(const hpf::DistributedVector<T>& p,
                      const hpf::DistributedVector<T>& q) const {
     HPFCG_REQUIRE(p.size() == n_ && q.size() == n_,
@@ -246,6 +279,34 @@ class DistCsr {
                                std::span<std::size_t>(col_w_));
     plan_.execute<T>(*proc_, std::span<const T>(val_o_), std::span<T>(val_w_));
     assembled_ = true;
+    audited_ = false;
+  }
+
+  /// Checking only: validate the assembled trio before the sweep indexes
+  /// through it.  A column index ≥ n means the sweep would read (or, in the
+  /// transpose, accumulate into) memory outside every rank's shard — the
+  /// out-of-shard hazard the descriptor's immutability contract is supposed
+  /// to rule out.  Runs once per assembly.
+  void audit_structure() {
+    if (!(check::kCompiled && check::enabled()) || audited_) return;
+    const std::size_t base = plan_.needed().begin;
+    for (std::size_t lr = 0; lr < local_rows(); ++lr) {
+      HPFCG_REQUIRE(row_ptr_[lr] <= row_ptr_[lr + 1],
+                    "DistCsr: row pointers not monotone on rank " +
+                        std::to_string(proc_->rank()));
+      for (std::size_t k = row_ptr_[lr]; k < row_ptr_[lr + 1]; ++k) {
+        const std::size_t c = col_w_[k - base];
+        if (c >= n_) {
+          throw util::Error(
+              "hpfcg::check: out-of-shard index: rank " +
+              std::to_string(proc_->rank()) + " holds column index " +
+              std::to_string(c) + " >= n=" + std::to_string(n_) +
+              " in global row " + std::to_string(row_lo_ + lr) +
+              " — the sweep would touch memory outside every rank's shard");
+        }
+      }
+    }
+    audited_ = true;
   }
 
   msg::Process* proc_;
@@ -261,6 +322,7 @@ class DistCsr {
   std::vector<T> val_w_;              ///< assembled needed window of a
   bool caching_ = false;
   bool assembled_ = false;
+  bool audited_ = false;  ///< hpfcg::check: window validated since assembly
 };
 
 }  // namespace hpfcg::sparse

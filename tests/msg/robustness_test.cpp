@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "hpfcg/check/check.hpp"
 #include "hpfcg/hpf/dist_vector.hpp"
 #include "hpfcg/hpf/intrinsics.hpp"
 #include "hpfcg/msg/process.hpp"
@@ -139,5 +140,41 @@ TEST(Robustness, ZeroLengthVectorsWork) {
 TEST(Robustness, EmptyMachineRejected) {
   EXPECT_THROW(Runtime rt(0), Error);
 }
+
+TEST(Robustness, LeftoverMessagesRejectedAtTeardown) {
+  // Even without the checking layer, a leaked message fails the run and the
+  // error names the mailbox's owner.  (ScopedEnable pins the base path so
+  // the assertion holds regardless of the HPFCG_CHECK environment.)
+  hpfcg::check::ScopedEnable off(false);
+  Runtime rt(2);
+  try {
+    rt.run([](Process& p) {
+      if (p.rank() == 0) p.send_value<int>(1, /*tag=*/3, 99);
+    });
+    FAIL() << "expected teardown to reject leftover messages";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+#ifdef HPFCG_CHECK_ENABLED
+TEST(Robustness, UserErrorStillWinsWithCheckingOn) {
+  // The verifier must not shadow the program's own first error with the
+  // secondary aborts it observes while unwinding.
+  hpfcg::check::ScopedEnable on;
+  Runtime rt(3);
+  try {
+    rt.run([](Process& p) {
+      if (p.rank() == 0) throw Error("deliberate: rank 0");
+      (void)p.recv_value<int>(0, 1);
+    });
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deliberate"), std::string::npos)
+        << e.what();
+  }
+}
+#endif
 
 }  // namespace
