@@ -68,6 +68,8 @@ bool counters_identical(const Stats& a, const Stats& b) {
          a.bytes_sent == b.bytes_sent &&
          a.bytes_received == b.bytes_received && a.flops == b.flops &&
          a.barriers == b.barriers && a.collectives == b.collectives &&
+         a.reductions == b.reductions &&
+         a.reduction_values == b.reduction_values &&
          a.modeled_comm_seconds == b.modeled_comm_seconds &&
          a.modeled_compute_seconds == b.modeled_compute_seconds &&
          a.modeled_wait_seconds == b.modeled_wait_seconds;

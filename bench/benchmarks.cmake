@@ -27,3 +27,4 @@ hpfcg_add_bench(bench_cg_phases)
 hpfcg_add_bench(bench_stencil)
 hpfcg_add_bench(bench_inspector)
 hpfcg_add_bench(bench_check_overhead)
+hpfcg_add_bench(bench_comm_avoiding)

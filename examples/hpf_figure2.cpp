@@ -70,12 +70,18 @@ int main(int argc, char** argv) {
     hpfcg::hpf::axpy(alpha, p, x);     // x = x + alpha p
     hpfcg::hpf::axpy(-alpha, q, r);    // r = r - alpha q
     const double bnorm = std::sqrt(hpfcg::hpf::dot_product(b, b));
+    // DOT_PRODUCT(r,r) for the updated r: one merge serves both the stop
+    // criterion and the next iteration's rho.  Transcribed literally,
+    // Figure 2 merges (r,r) twice per iteration — once at the loop top for
+    // beta and once in the stop test — a redundant third DOT_PRODUCT the
+    // compiler was expected to CSE away; here we do it by hand.
+    double rho_new = hpfcg::hpf::dot_product(r, r);
 
     std::size_t iterations = 1;
     // DO k = 2, Niter
     for (std::size_t k = 2; k <= niter; ++k) {
       const double rho0 = rho;                      // rho0 = rho
-      rho = hpfcg::hpf::dot_product(r, r);          // rho = DOT_PRODUCT(r,r)
+      rho = rho_new;                                // rho = DOT_PRODUCT(r,r)
       const double beta = rho / rho0;               // beta = rho / rho0
       hpfcg::hpf::aypx(beta, r, p);                 // p = beta * p + r
       smA.matvec(p, q);                             // FORALL sparse matvec
@@ -83,13 +89,14 @@ int main(int argc, char** argv) {
       hpfcg::hpf::axpy(alpha, p, x);                // x = x + alpha p
       hpfcg::hpf::axpy(-alpha, q, r);               // r = r - alpha q
       iterations = k;
+      rho_new = hpfcg::hpf::dot_product(r, r);
       // IF ( stop_criterion ) EXIT
-      if (std::sqrt(hpfcg::hpf::dot_product(r, r)) <= 1e-10 * bnorm) break;
+      if (std::sqrt(rho_new) <= 1e-10 * bnorm) break;
     }
 
-    // dot_product is collective — every rank computes it; rank 0 narrates.
-    const double final_rel =
-        std::sqrt(hpfcg::hpf::dot_product(r, r)) / bnorm;
+    // rho_new already holds DOT_PRODUCT(r,r) for the final residual —
+    // every rank has it (the merge is collective); rank 0 narrates.
+    const double final_rel = std::sqrt(rho_new) / bnorm;
     if (proc.rank() == 0) {
       std::cout << "Figure 2 CG: n=" << n << ", NP=" << PROCS.size()
                 << ", iterations=" << iterations << ", final |r|/|b|="

@@ -31,6 +31,10 @@ enum class CollectiveKind : std::uint8_t {
   kBroadcast,
   kReduce,
   kAllreduceVec,
+  /// Fused multi-value collectives: `count` is the batch width, so a rank
+  /// diverging on how many scalars it fused is named by the ledger.
+  kAllreduceBatch,
+  kReduceBatch,
   kAllgatherv,
   kGatherv,
   kScatterv,

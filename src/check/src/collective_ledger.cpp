@@ -12,6 +12,8 @@ const char* to_string(CollectiveKind k) {
     case CollectiveKind::kBroadcast: return "broadcast";
     case CollectiveKind::kReduce: return "reduce";
     case CollectiveKind::kAllreduceVec: return "allreduce_vec";
+    case CollectiveKind::kAllreduceBatch: return "allreduce_batch";
+    case CollectiveKind::kReduceBatch: return "reduce_batch";
     case CollectiveKind::kAllgatherv: return "allgatherv";
     case CollectiveKind::kGatherv: return "gatherv";
     case CollectiveKind::kScatterv: return "scatterv";

@@ -12,8 +12,10 @@
 // enforced, because in HPF misaligned operands silently generate
 // communication; here the library makes the requirement explicit.
 
+#include <array>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "hpfcg/hpf/dist_vector.hpp"
 #include "hpfcg/util/span_math.hpp"
@@ -38,6 +40,68 @@ T dot_product(const DistributedVector<T>& x, const DistributedVector<T>& y) {
   const T local = util::dot_local<T>(x.local(), y.local());
   x.proc().add_flops(2 * x.local().size());
   return x.proc().allreduce(local);
+}
+
+/// One (x, y) operand pair of a fused multi-dot request.
+template <class T>
+struct DotPair {
+  const DistributedVector<T>* x;
+  const DistributedVector<T>* y;
+};
+
+/// Fused DOT_PRODUCT: evaluates pairs[i].x · pairs[i].y for every pair,
+/// writing the results to `out`, but merges all k partial sums in a single
+/// allreduce_batch — one tree walk instead of k, so the paper's
+/// t_startup*log(N_P) latency term is paid once per *group* of dots.  This
+/// is the HPF-extension analogue of an elemental reduction intrinsic
+/// operating on an array of expressions.  k = 0 is a communication-free
+/// no-op: with no operands there is no Process to merge through, and no
+/// collective is entered (all ranks must of course agree on k, which the
+/// conformance ledger enforces whenever k > 0).
+template <class T>
+void dot_products(std::span<const DotPair<T>> pairs, std::span<T> out) {
+  HPFCG_REQUIRE(pairs.size() == out.size(),
+                "dot_products: pairs/out size mismatch");
+  if (pairs.empty()) return;
+  std::uint64_t flops = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& x = *pairs[i].x;
+    const auto& y = *pairs[i].y;
+    detail::require_aligned(x, y, "dot_products");
+    out[i] = util::dot_local<T>(x.local(), y.local());
+    flops += 2 * x.local().size();
+  }
+  auto& proc = pairs[0].x->proc();
+  proc.add_flops(flops);
+  proc.allreduce_batch(out);
+}
+
+/// Two-dot convenience: {x1·y1, x2·y2} in one merge — the shape the fused
+/// CG recurrence needs ((r,r) and (w,r) per iteration).
+template <class T>
+std::array<T, 2> dot_products(const DistributedVector<T>& x1,
+                              const DistributedVector<T>& y1,
+                              const DistributedVector<T>& x2,
+                              const DistributedVector<T>& y2) {
+  const std::array<DotPair<T>, 2> pairs{{{&x1, &y1}, {&x2, &y2}}};
+  std::array<T, 2> out;
+  dot_products<T>(pairs, out);
+  return out;
+}
+
+/// Three-dot convenience, the fused PCG shape ((r,u), (w,u), (r,r)).
+template <class T>
+std::array<T, 3> dot_products(const DistributedVector<T>& x1,
+                              const DistributedVector<T>& y1,
+                              const DistributedVector<T>& x2,
+                              const DistributedVector<T>& y2,
+                              const DistributedVector<T>& x3,
+                              const DistributedVector<T>& y3) {
+  const std::array<DotPair<T>, 3> pairs{
+      {{&x1, &y1}, {&x2, &y2}, {&x3, &y3}}};
+  std::array<T, 3> out;
+  dot_products<T>(pairs, out);
+  return out;
 }
 
 /// SUM intrinsic over a distributed vector.

@@ -79,6 +79,18 @@ class CostModel {
   /// All-reduce = reduce + broadcast.
   [[nodiscard]] double allreduce_time(std::size_t bytes) const;
 
+  /// Fused all-reduce of k scalars of `elem_bytes` each: the k values share
+  /// every hop's start-up, so the tree is walked once —
+  ///   2 * ceil(log2 P) * (t_s + t_hop + k*elem*t_c)
+  /// versus k * allreduce_time(elem) for k sequential scalar merges.
+  [[nodiscard]] double allreduce_batch_time(std::size_t k,
+                                            std::size_t elem_bytes) const;
+
+  /// Modeled start-up time recovered per call by fusing k scalar
+  /// all-reduces into one batch: (k-1) * 2 * ceil(log2 P) * t_s.  This is
+  /// the paper's `t_startup · log N_P` term paid (k-1) fewer times.
+  [[nodiscard]] double batch_startup_savings(std::size_t k) const;
+
   /// Ring all-gather where every rank contributes `bytes_per_rank`:
   ///   (P-1) * (t_s + bytes_per_rank * t_c)
   /// This is the paper's "all-to-all broadcast of the local vector

@@ -4,9 +4,27 @@
 // The "network" of the simulated machine: a send deposits a message into the
 // destination's mailbox (buffered, non-blocking, like an eager-protocol MPI
 // send); a receive blocks until a matching (source, tag) message arrives.
-// Matching is FIFO per (source, tag) pair, mirroring MPI's non-overtaking
-// guarantee.
+//
+// Matching guarantees (mirroring MPI's non-overtaking rule):
+//   * FIFO per (src, tag): two messages from the same source with the same
+//     tag are received in the order they were deposited.
+//   * Any-source receives match the globally oldest deposited message with
+//     the requested tag, regardless of source — so a flood from one rank
+//     cannot starve another (arrival-order fairness).
+// Both hold for zero-length payloads, which are ordinary messages here.
+//
+// Fast-path machinery (the start-up latency of the *simulation* itself):
+//   * Queues are sharded per source rank, so a directed receive scans only
+//     its source's queue and an any-source scan touches the head region of
+//     each shard instead of walking one global O(queue) deque.
+//   * Payloads of at most kInlineCapacity bytes (any scalar, and every
+//     batched-collective header the CG solvers emit) live in a fixed buffer
+//     inside the Envelope — they never touch the heap.
+//   * Larger payload buffers are recycled through a per-mailbox freelist
+//     (make_envelope / recycle), so a steady-state solver loop allocates
+//     nothing after warm-up.
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -19,11 +37,58 @@ namespace hpfcg::msg {
 /// Wildcard source for receive matching (MPI_ANY_SOURCE analogue).
 inline constexpr int kAnySource = -1;
 
-/// One in-flight message.
-struct Envelope {
+/// Runtime toggles for the mailbox fast paths, so benchmarks can A/B the
+/// pooled/inline machinery against plain heap allocation in one binary.
+/// Both default to on; they affect wall-clock only — message semantics,
+/// Stats counters and modeled costs are bit-identical either way.
+void set_buffer_pooling(bool on);
+[[nodiscard]] bool buffer_pooling();
+void set_inline_payloads(bool on);
+[[nodiscard]] bool inline_payloads();
+
+/// One in-flight message.  Small payloads are stored inline; larger ones
+/// in a heap buffer that the owning Mailbox recycles through its freelist.
+class Envelope {
+ public:
+  /// Largest payload stored without heap allocation.  64 bytes covers every
+  /// scalar, any ValueLoc pair, and a fused batch of up to 8 doubles — the
+  /// whole per-iteration scalar traffic of the communication-avoiding CG
+  /// variants.
+  static constexpr std::size_t kInlineCapacity = 64;
+
   int src = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+
+  Envelope() = default;
+
+  /// Set the payload size, choosing inline or heap storage.  Existing
+  /// bytes are not preserved (envelopes are filled immediately after).
+  void resize_payload(std::size_t bytes);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::byte* data() {
+    return stored_inline_ ? inline_.data() : heap_.data();
+  }
+  [[nodiscard]] const std::byte* data() const {
+    return stored_inline_ ? inline_.data() : heap_.data();
+  }
+  [[nodiscard]] bool stored_inline() const { return stored_inline_; }
+
+  // ---- freelist plumbing (used by Mailbox) ------------------------------
+  /// Adopt a recycled heap buffer for a `bytes`-long payload.
+  void adopt_heap(std::vector<std::byte>&& buf, std::size_t bytes);
+  /// Surrender the heap buffer (empty vector if the payload was inline).
+  [[nodiscard]] std::vector<std::byte> release_heap();
+
+ private:
+  friend class Mailbox;
+
+  std::size_t size_ = 0;
+  bool stored_inline_ = true;
+  std::uint64_t seq = 0;  ///< mailbox arrival stamp (any-source fairness)
+  std::array<std::byte, kInlineCapacity> inline_;
+  std::vector<std::byte> heap_;
 };
 
 /// Thread-safe mailbox with (src, tag) matching and abort support.
@@ -33,6 +98,13 @@ struct Envelope {
 /// receive throws.
 class Mailbox {
  public:
+  /// One queue shard per possible source rank.
+  explicit Mailbox(int nprocs);
+
+  /// Build an envelope addressed to this mailbox, drawing any heap payload
+  /// buffer from the freelist (called by the sending thread).
+  Envelope make_envelope(int src, int tag, std::size_t bytes);
+
   /// Deposit a message (called by the sending thread).
   void deposit(Envelope env);
 
@@ -43,8 +115,15 @@ class Mailbox {
   /// Non-blocking variant: returns true and fills `out` if a match exists.
   bool try_receive(int src, int tag, Envelope& out);
 
+  /// Return a consumed envelope's payload buffer to the freelist (called
+  /// by the receiving thread after copying the payload out).
+  void recycle(Envelope&& env);
+
   /// Number of queued messages (for tests / diagnostics).
   std::size_t pending() const;
+
+  /// Heap buffers currently parked in the freelist (for tests).
+  std::size_t pooled_buffers() const;
 
   /// Summary of every queued message, for the hpfcg::check teardown audit.
   struct PendingInfo {
@@ -62,8 +141,19 @@ class Mailbox {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Envelope> queue_;
+  /// Shard per source rank, each in deposit order — a directed receive
+  /// scans one shard; any-source picks the lowest arrival stamp across
+  /// shard-local first matches.
+  std::vector<std::deque<Envelope>> shards_;
+  std::uint64_t next_seq_ = 0;
   bool aborted_ = false;
+
+  /// Freelist of heap payload buffers.  Its own mutex: senders draw from it
+  /// while the receiver recycles, and neither should contend with matching.
+  mutable std::mutex pool_mu_;
+  std::vector<std::vector<std::byte>> pool_;
+  /// Freelist bound — beyond this, recycled buffers are simply freed.
+  static constexpr std::size_t kMaxPooledBuffers = 64;
 };
 
 }  // namespace hpfcg::msg

@@ -13,6 +13,7 @@
 // reproduces the paper's per-step cost `t_startup + t_comm * m`, and the
 // per-rank maximum approximates the machine's critical path.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -70,11 +71,12 @@ class Process {
   void recv_into(int src, int tag, std::span<T> out) {
     static_assert(std::is_trivially_copyable_v<T>);
     Envelope env = recv_bytes(src, tag);
-    HPFCG_REQUIRE(env.payload.size() == out.size_bytes(),
+    HPFCG_REQUIRE(env.size() == out.size_bytes(),
                   "recv: message length mismatch");
-    if (!env.payload.empty()) {  // empty span data() may be null (UB to copy)
-      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    if (!env.empty()) {  // empty span data() may be null (UB to copy)
+      std::memcpy(out.data(), env.data(), env.size());
     }
+    rt_.mailbox(rank_).recycle(std::move(env));
   }
 
   /// Blocking receive of a whole message as a vector.
@@ -82,12 +84,13 @@ class Process {
   std::vector<T> recv(int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     Envelope env = recv_bytes(src, tag);
-    HPFCG_REQUIRE(env.payload.size() % sizeof(T) == 0,
+    HPFCG_REQUIRE(env.size() % sizeof(T) == 0,
                   "recv: message is not a whole number of elements");
-    std::vector<T> out(env.payload.size() / sizeof(T));
+    std::vector<T> out(env.size() / sizeof(T));
     if (!out.empty()) {
-      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+      std::memcpy(out.data(), env.data(), env.size());
     }
+    rt_.mailbox(rank_).recycle(std::move(env));
     return out;
   }
 
@@ -95,12 +98,13 @@ class Process {
   template <class T>
   std::vector<T> recv_any(int tag, int& src_out) {
     Envelope env = recv_bytes(kAnySource, tag, &src_out);
-    HPFCG_REQUIRE(env.payload.size() % sizeof(T) == 0,
+    HPFCG_REQUIRE(env.size() % sizeof(T) == 0,
                   "recv_any: message is not a whole number of elements");
-    std::vector<T> out(env.payload.size() / sizeof(T));
+    std::vector<T> out(env.size() / sizeof(T));
     if (!out.empty()) {
-      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+      std::memcpy(out.data(), env.data(), env.size());
     }
+    rt_.mailbox(rank_).recycle(std::move(env));
     return out;
   }
 
@@ -201,6 +205,7 @@ class Process {
     const int p = nprocs();
     conform(check::CollectiveKind::kReduce, root, sizeof(T), 1);
     const int seq = next_collective();
+    note_reduction(1);
     const int vr = rel_rank(root);
     int mask = 1;
     while (mask < p) {
@@ -235,6 +240,7 @@ class Process {
     conform(check::CollectiveKind::kAllreduceVec, check::kNoRoot, sizeof(T),
             buf.size());
     const int seq = next_collective();
+    note_reduction(buf.size());
     if (p == 1) return;
     const std::size_t n = buf.size();
     // Binomial reduce to 0 ...
@@ -272,6 +278,99 @@ class Process {
                 std::span<const T>(buf.data(), n));
       }
       mask2 >>= 1;
+    }
+  }
+
+  // ---- batched (fused) reductions --------------------------------------
+  // The communication-avoiding primitives: k scalars travel together, so
+  // the per-hop start-up latency — the paper's dominant `t_startup · log NP`
+  // term — is paid once instead of k times.  The reduction tree is the
+  // rank-order binomial tree of `reduce(0, ...)` / `allreduce`, so a batch
+  // produces bit-identical values to k sequential scalar allreduces.
+
+  /// Fused all-reduce of `vals.size()` independent scalars, element-wise
+  /// under `op`, one message per tree edge.  All ranks must pass the same
+  /// batch width (enforced by the conformance ledger).  k = 0 conforms and
+  /// synchronizes like any collective, carrying zero-length payloads.
+  template <class T, class Op = std::plus<T>>
+  void allreduce_batch(std::span<T> vals, Op op = {}) {
+    const int p = nprocs();
+    conform(check::CollectiveKind::kAllreduceBatch, check::kNoRoot, sizeof(T),
+            vals.size());
+    const int seq = next_collective();
+    note_reduction(vals.size());
+    if (p == 1) return;
+    const std::size_t k = vals.size();
+    // Reduce to rank 0 (phase 0) ...
+    int mask = 1;
+    while (mask < p) {
+      if ((rank_ & mask) == 0) {
+        const int partner = rank_ | mask;
+        if (partner < p) {
+          BatchBuffer<T> other(k);
+          recv_into<T>(partner, coll_tag(seq, 0), other.span());
+          for (std::size_t i = 0; i < k; ++i) {
+            vals[i] = op(vals[i], other.span()[i]);
+          }
+          add_flops(k);
+        }
+      } else {
+        send<T>(rank_ - mask, coll_tag(seq, 0),
+                std::span<const T>(vals.data(), k));
+        break;
+      }
+      mask <<= 1;
+    }
+    // ... then broadcast the merged batch down the same tree (phase 1).
+    int mask2 = 1;
+    while (mask2 < p) {
+      if (rank_ & mask2) {
+        recv_into<T>(rank_ - mask2, coll_tag(seq, 1), vals);
+        break;
+      }
+      mask2 <<= 1;
+    }
+    mask2 >>= 1;
+    while (mask2 > 0) {
+      if (rank_ + mask2 < p) {
+        send<T>(rank_ + mask2, coll_tag(seq, 1),
+                std::span<const T>(vals.data(), k));
+      }
+      mask2 >>= 1;
+    }
+  }
+
+  /// Fused reduction of `vals.size()` scalars to `root` (valid only there),
+  /// element-wise under `op`, one message per tree edge.
+  template <class T, class Op = std::plus<T>>
+  void reduce_batch(int root, std::span<T> vals, Op op = {}) {
+    const int p = nprocs();
+    conform(check::CollectiveKind::kReduceBatch, root, sizeof(T),
+            vals.size());
+    const int seq = next_collective();
+    note_reduction(vals.size());
+    if (p == 1) return;
+    const std::size_t k = vals.size();
+    const int vr = rel_rank(root);
+    int mask = 1;
+    while (mask < p) {
+      if ((vr & mask) == 0) {
+        const int partner = vr | mask;
+        if (partner < p) {
+          BatchBuffer<T> other(k);
+          recv_into<T>(abs_rank(partner, root), coll_tag(seq, 0),
+                       other.span());
+          for (std::size_t i = 0; i < k; ++i) {
+            vals[i] = op(vals[i], other.span()[i]);
+          }
+          add_flops(k);
+        }
+      } else {
+        send<T>(abs_rank(vr - mask, root), coll_tag(seq, 0),
+                std::span<const T>(vals.data(), k));
+        break;
+      }
+      mask <<= 1;
     }
   }
 
@@ -498,6 +597,33 @@ class Process {
   }
 
  private:
+  /// Scratch for a partner's batch in the fused reductions: stack storage
+  /// for the batch widths solvers actually use, heap only beyond that.
+  template <class T>
+  class BatchBuffer {
+   public:
+    explicit BatchBuffer(std::size_t k) : size_(k) {
+      if (k > kStackElems) heap_.resize(k);
+    }
+    [[nodiscard]] std::span<T> span() {
+      return {size_ <= kStackElems ? stack_.data() : heap_.data(), size_};
+    }
+
+   private:
+    static constexpr std::size_t kStackElems = 16;
+    std::size_t size_;
+    std::array<T, kStackElems> stack_;
+    std::vector<T> heap_;
+  };
+
+  /// Book one reduction-class collective merging `values` scalars (the
+  /// benchmark currency of the communication-avoiding variants).
+  void note_reduction(std::size_t values) {
+    auto& s = stats();
+    ++s.reductions;
+    s.reduction_values += values;
+  }
+
   [[nodiscard]] int rel_rank(int root) const {
     return (rank_ - root + nprocs()) % nprocs();
   }
@@ -529,11 +655,10 @@ class Process {
 
   void send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
     HPFCG_REQUIRE(dst >= 0 && dst < nprocs(), "send: bad destination rank");
-    Envelope env;
-    env.src = rank_;
-    env.tag = tag;
-    env.payload.resize(bytes);
-    if (bytes > 0) std::memcpy(env.payload.data(), data, bytes);
+    // Draw the envelope from the destination's freelist: small payloads are
+    // stored inline, larger ones reuse a recycled buffer when one exists.
+    Envelope env = rt_.mailbox(dst).make_envelope(rank_, tag, bytes);
+    if (bytes > 0) std::memcpy(env.data(), data, bytes);
     auto& s = stats();
     ++s.messages_sent;
     s.bytes_sent += bytes;
@@ -550,11 +675,11 @@ class Process {
     if (h != nullptr) h->end_wait(rank_);
     auto& s = stats();
     ++s.messages_received;
-    s.bytes_received += env.payload.size();
+    s.bytes_received += env.size();
     if (env.src != rank_) {
       s.modeled_comm_seconds +=
           cost().hops(env.src, rank_) * cost().params().t_hop +
-          static_cast<double>(env.payload.size()) * cost().params().t_comm;
+          static_cast<double>(env.size()) * cost().params().t_comm;
     }
     if (src_out != nullptr) *src_out = env.src;
     return env;

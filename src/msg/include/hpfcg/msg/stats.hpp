@@ -22,6 +22,14 @@ struct Stats {
   std::uint64_t flops = 0;
   std::uint64_t barriers = 0;
   std::uint64_t collectives = 0;  ///< broadcast/reduce/allreduce/gather/...
+  /// Reduction-class collectives entered (reduce, allreduce, allreduce_vec,
+  /// reduce_batch, allreduce_batch).  A scalar allreduce counts once; a
+  /// batch of k scalars also counts once — this is the "allreduces per
+  /// iteration" currency of the communication-avoiding solver benchmarks.
+  std::uint64_t reductions = 0;
+  /// Scalar values merged by those reductions (k per batch), so the
+  /// batching factor reduction_values / reductions is visible.
+  std::uint64_t reduction_values = 0;
 
   double modeled_comm_seconds = 0.0;
   double modeled_compute_seconds = 0.0;
@@ -44,6 +52,8 @@ struct Stats {
     flops += o.flops;
     barriers += o.barriers;
     collectives += o.collectives;
+    reductions += o.reductions;
+    reduction_values += o.reduction_values;
     modeled_comm_seconds += o.modeled_comm_seconds;
     modeled_compute_seconds += o.modeled_compute_seconds;
     modeled_wait_seconds += o.modeled_wait_seconds;

@@ -81,6 +81,17 @@ double CostModel::allreduce_time(std::size_t bytes) const {
   return reduce_time(bytes) + broadcast_time(bytes);
 }
 
+double CostModel::allreduce_batch_time(std::size_t k,
+                                       std::size_t elem_bytes) const {
+  return allreduce_time(k * elem_bytes);
+}
+
+double CostModel::batch_startup_savings(std::size_t k) const {
+  if (k < 2) return 0.0;
+  return static_cast<double>(k - 1) * 2.0 * log2_ceil_procs() *
+         params_.t_startup;
+}
+
 double CostModel::allgather_time(std::size_t bytes_per_rank) const {
   if (nprocs_ == 1) return 0.0;
   if (topo_ == Topology::kHypercube &&

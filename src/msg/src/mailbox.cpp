@@ -1,26 +1,123 @@
 #include "hpfcg/msg/mailbox.hpp"
 
+#include <algorithm>
+#include <atomic>
+
 #include "hpfcg/util/error.hpp"
 
 namespace hpfcg::msg {
 
+namespace {
+std::atomic<bool> g_pooling{true};
+std::atomic<bool> g_inline{true};
+}  // namespace
+
+void set_buffer_pooling(bool on) {
+  g_pooling.store(on, std::memory_order_relaxed);
+}
+bool buffer_pooling() { return g_pooling.load(std::memory_order_relaxed); }
+void set_inline_payloads(bool on) {
+  g_inline.store(on, std::memory_order_relaxed);
+}
+bool inline_payloads() { return g_inline.load(std::memory_order_relaxed); }
+
+// ---- Envelope -----------------------------------------------------------
+
+void Envelope::resize_payload(std::size_t bytes) {
+  size_ = bytes;
+  if (bytes <= kInlineCapacity && inline_payloads()) {
+    stored_inline_ = true;
+    return;
+  }
+  stored_inline_ = false;
+  if (heap_.size() < bytes) heap_.resize(bytes);
+}
+
+void Envelope::adopt_heap(std::vector<std::byte>&& buf, std::size_t bytes) {
+  heap_ = std::move(buf);
+  if (heap_.size() < bytes) heap_.resize(bytes);
+  size_ = bytes;
+  stored_inline_ = false;
+}
+
+std::vector<std::byte> Envelope::release_heap() {
+  size_ = 0;
+  stored_inline_ = true;
+  return std::move(heap_);
+}
+
+// ---- Mailbox ------------------------------------------------------------
+
+Mailbox::Mailbox(int nprocs)
+    : shards_(static_cast<std::size_t>(nprocs > 0 ? nprocs : 1)) {}
+
+Envelope Mailbox::make_envelope(int src, int tag, std::size_t bytes) {
+  Envelope env;
+  env.src = src;
+  env.tag = tag;
+  if (bytes <= Envelope::kInlineCapacity && inline_payloads()) {
+    env.resize_payload(bytes);  // inline: no pool, no heap
+    return env;
+  }
+  if (buffer_pooling()) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      std::vector<std::byte> buf = std::move(pool_.back());
+      pool_.pop_back();
+      env.adopt_heap(std::move(buf), bytes);
+      return env;
+    }
+  }
+  env.resize_payload(bytes);
+  return env;
+}
+
 void Mailbox::deposit(Envelope env) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(env));
+    const auto shard = static_cast<std::size_t>(env.src);
+    HPFCG_REQUIRE(shard < shards_.size(), "deposit: bad source rank");
+    env.seq = next_seq_++;
+    shards_[shard].push_back(std::move(env));
   }
   cv_.notify_all();
 }
 
 bool Mailbox::match_locked(int src, int tag, Envelope& out) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if ((src == kAnySource || it->src == src) && it->tag == tag) {
-      out = std::move(*it);
-      queue_.erase(it);
-      return true;
+  if (src != kAnySource) {
+    const auto shard = static_cast<std::size_t>(src);
+    HPFCG_REQUIRE(shard < shards_.size(), "receive: bad source rank");
+    auto& q = shards_[shard];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->tag == tag) {  // first match = oldest from src (FIFO per src,tag)
+        out = std::move(*it);
+        q.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  // Any-source: each shard is in deposit order, so its first tag match is
+  // that source's oldest candidate; the lowest arrival stamp among those is
+  // the globally oldest match — exactly the single-queue FIFO semantics,
+  // without walking past already-inspected non-matching traffic of every
+  // other source.
+  std::deque<Envelope>* best_q = nullptr;
+  std::deque<Envelope>::iterator best_it;
+  for (auto& q : shards_) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->tag != tag) continue;
+      if (best_q == nullptr || it->seq < best_it->seq) {
+        best_q = &q;
+        best_it = it;
+      }
+      break;  // later entries in this shard are newer
     }
   }
-  return false;
+  if (best_q == nullptr) return false;
+  out = std::move(*best_it);
+  best_q->erase(best_it);
+  return true;
 }
 
 Envelope Mailbox::receive(int src, int tag) {
@@ -43,17 +140,40 @@ bool Mailbox::try_receive(int src, int tag, Envelope& out) {
   return match_locked(src, tag, out);
 }
 
+void Mailbox::recycle(Envelope&& env) {
+  if (env.stored_inline() || !buffer_pooling()) return;
+  std::vector<std::byte> buf = env.release_heap();
+  if (buf.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_.size() < kMaxPooledBuffers) pool_.push_back(std::move(buf));
+}
+
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  std::size_t n = 0;
+  for (const auto& q : shards_) n += q.size();
+  return n;
+}
+
+std::size_t Mailbox::pooled_buffers() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_.size();
 }
 
 std::vector<Mailbox::PendingInfo> Mailbox::pending_info() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Report in deposit order (by arrival stamp) so diagnostics stay stable
+  // across the sharded layout.
+  std::vector<const Envelope*> left;
+  for (const auto& q : shards_) {
+    for (const auto& env : q) left.push_back(&env);
+  }
+  std::sort(left.begin(), left.end(),
+            [](const Envelope* a, const Envelope* b) { return a->seq < b->seq; });
   std::vector<PendingInfo> out;
-  out.reserve(queue_.size());
-  for (const auto& env : queue_) {
-    out.push_back(PendingInfo{env.src, env.tag, env.payload.size()});
+  out.reserve(left.size());
+  for (const Envelope* env : left) {
+    out.push_back(PendingInfo{env->src, env->tag, env->size()});
   }
   return out;
 }

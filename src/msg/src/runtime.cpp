@@ -18,7 +18,7 @@ Runtime::Runtime(int nprocs, CostParams params, Topology topo)
   HPFCG_REQUIRE(nprocs >= 1, "Runtime needs at least one processor");
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<Mailbox>(nprocs));
   }
   if (check::kCompiled && check::enabled()) {
     checker_ = std::make_unique<check::Harness>(nprocs);

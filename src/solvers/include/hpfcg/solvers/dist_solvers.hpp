@@ -13,6 +13,16 @@
 //   BiCG:      2 matvecs (one with A^T) + 2 merges.
 //   BiCGSTAB:  2 matvecs + 4 merges ("greater demand for an efficient
 //              intrinsic", Section 2.1).
+//
+// The *_fused_* variants below are the communication-avoiding forms: the
+// recurrences are regrouped (Chronopoulos–Gear for CG/PCG) so the inner
+// products of an iteration land back to back and merge through ONE
+// hpf::dot_products batch — each merge costs t_startup*log(N_P) regardless
+// of how many scalars ride it, so fusing k dots recovers
+// (k-1)*2*ceil(log2 N_P)*t_startup per iteration:
+//   cg_fused_dist:        1 matvec + 1 merge   (batch {(r,r),(w,r)})
+//   pcg_fused_dist:       1 matvec + 1 merge   (batch {(r,u),(w,u),(r,r)})
+//   bicgstab_fused_dist:  2 matvecs + 3 merges (vs bicgstab_dist's 6).
 
 #include <cmath>
 #include <functional>
@@ -77,6 +87,9 @@ SolveResult cg_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
     const T alpha = rho / pq;
     hpf::axpy<T>(alpha, p, x);   // x = x + alpha p   (saxpy)
     hpf::axpy<T>(-alpha, q, r);  // r = r - alpha q   (saxpy)
+    // One merge serves both convergence and beta: rho_new = (r,r) is the
+    // residual norm squared AND next iteration's numerator, so Figure 2's
+    // literal third DOT_PRODUCT per iteration never happens here.
     const T rho_new = hpf::dot_product(r, r);
     const double rnorm = std::sqrt(static_cast<double>(rho_new));
     res.iterations = k + 1;
@@ -89,6 +102,79 @@ SolveResult cg_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
     const T beta = rho_new / rho;
     hpf::aypx<T>(beta, r, p);  // p = beta p + r   (saypx, Figure 2)
     rho = rho_new;
+  }
+  return res;
+}
+
+/// Communication-avoiding CG (Chronopoulos–Gear single-reduction form):
+/// one matvec and ONE two-wide dot_products merge per iteration, against
+/// cg_dist's two scalar merges.  alpha comes from the recurrence
+/// alpha = gamma_new / (delta - beta*gamma_new/alpha) instead of (p, A p),
+/// at the price of one extra matvec at start-up and one extra vector
+/// s = A p maintained by saypx.  Iterates match the serial cg_fused()
+/// reference (same recurrence; only the merge's reduction order differs).
+template <class T>
+SolveResult cg_fused_dist(const DistOp<T>& a,
+                          const hpf::DistributedVector<T>& b,
+                          hpf::DistributedVector<T>& x,
+                          const SolveOptions& opts = {}) {
+  SolveResult res;
+  const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  auto r = hpf::DistributedVector<T>::aligned_like(b);
+  auto w = hpf::DistributedVector<T>::aligned_like(b);
+  auto p = hpf::DistributedVector<T>::aligned_like(b);
+  auto s = hpf::DistributedVector<T>::aligned_like(b);
+
+  a(x, w);  // scratch: w = A x0
+  hpf::assign(b, r);
+  hpf::axpy<T>(T{-1}, w, r);  // r = b - A x0
+  a(r, w);                    // extra start-up matvec: w = A r
+  const auto d0 = hpf::dot_products(r, r, w, r);  // {gamma, delta}, 1 merge
+  T gamma = d0[0];
+  T delta = d0[1];
+  const double rnorm0 = std::sqrt(static_cast<double>(gamma));
+  res.relative_residual = bnorm > 0.0 ? rnorm0 / bnorm : rnorm0;
+  detail::dist_record(res, opts, rnorm0);
+  if (rnorm0 <= stop) {
+    res.converged = true;
+    return res;
+  }
+  if (delta == T{}) {
+    res.breakdown = true;
+    return res;
+  }
+  T alpha = gamma / delta;
+  hpf::assign(r, p);
+  hpf::assign(w, s);
+
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    hpf::axpy<T>(alpha, p, x);   // x = x + alpha p
+    hpf::axpy<T>(-alpha, s, r);  // r = r - alpha s   (s = A p by recurrence)
+    a(r, w);                     // the iteration's only matvec
+    // The iteration's only reduction: {(r,r), (w,r)} in one tree walk.
+    const auto d = hpf::dot_products(r, r, w, r);
+    const T gamma_new = d[0];
+    const T delta_new = d[1];
+    const double rnorm = std::sqrt(static_cast<double>(gamma_new));
+    res.iterations = k + 1;
+    res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    detail::dist_record(res, opts, rnorm);
+    if (rnorm <= stop) {
+      res.converged = true;
+      return res;
+    }
+    const T beta = gamma_new / gamma;
+    const T denom = delta_new - beta * gamma_new / alpha;
+    if (denom == T{}) {
+      res.breakdown = true;
+      break;
+    }
+    alpha = gamma_new / denom;
+    hpf::aypx<T>(beta, r, p);  // p = r + beta p
+    hpf::aypx<T>(beta, w, s);  // s = w + beta s  (= A p, no extra matvec)
+    gamma = gamma_new;
   }
   return res;
 }
@@ -145,6 +231,83 @@ SolveResult pcg_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
     const T beta = rho_new / rho;
     hpf::aypx<T>(beta, z, p);
     rho = rho_new;
+  }
+  return res;
+}
+
+/// Communication-avoiding preconditioned CG: ONE three-wide merge per
+/// iteration — {(r,u), (w,u), (r,r)} with u = M^{-1} r, w = A u — against
+/// pcg_dist's three scalar merges.  The (r,r) convergence norm rides the
+/// batch for free.  Iterates match the serial pcg_fused() reference.
+template <class T>
+SolveResult pcg_fused_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
+                           const hpf::DistributedVector<T>& b,
+                           hpf::DistributedVector<T>& x,
+                           const SolveOptions& opts = {}) {
+  SolveResult res;
+  const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  auto r = hpf::DistributedVector<T>::aligned_like(b);
+  auto u = hpf::DistributedVector<T>::aligned_like(b);
+  auto w = hpf::DistributedVector<T>::aligned_like(b);
+  auto p = hpf::DistributedVector<T>::aligned_like(b);
+  auto s = hpf::DistributedVector<T>::aligned_like(b);
+
+  a(x, w);
+  hpf::assign(b, r);
+  hpf::axpy<T>(T{-1}, w, r);
+  m_inv(r, u);
+  a(u, w);
+  const auto d0 = hpf::dot_products(r, u, w, u, r, r);  // one 3-wide merge
+  T gamma = d0[0];
+  T delta = d0[1];
+  const double rnorm0 = std::sqrt(static_cast<double>(d0[2]));
+  res.relative_residual = bnorm > 0.0 ? rnorm0 / bnorm : rnorm0;
+  detail::dist_record(res, opts, rnorm0);
+  if (rnorm0 <= stop) {
+    res.converged = true;
+    return res;
+  }
+  if (delta == T{}) {
+    res.breakdown = true;
+    return res;
+  }
+  T alpha = gamma / delta;
+  hpf::assign(u, p);
+  hpf::assign(w, s);
+
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    hpf::axpy<T>(alpha, p, x);
+    hpf::axpy<T>(-alpha, s, r);  // s = A p by recurrence
+    m_inv(r, u);
+    a(u, w);
+    // The iteration's only reduction: beta/alpha numerators + convergence.
+    const auto d = hpf::dot_products(r, u, w, u, r, r);
+    const T gamma_new = d[0];
+    const T delta_new = d[1];
+    const double rnorm = std::sqrt(static_cast<double>(d[2]));
+    res.iterations = k + 1;
+    res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    detail::dist_record(res, opts, rnorm);
+    if (rnorm <= stop) {
+      res.converged = true;
+      return res;
+    }
+    if (gamma == T{}) {
+      res.breakdown = true;
+      break;
+    }
+    const T beta = gamma_new / gamma;
+    const T denom = delta_new - beta * gamma_new / alpha;
+    if (denom == T{}) {
+      res.breakdown = true;
+      break;
+    }
+    alpha = gamma_new / denom;
+    hpf::aypx<T>(beta, u, p);  // p = u + beta p
+    hpf::aypx<T>(beta, w, s);  // s = w + beta s
+    gamma = gamma_new;
   }
   return res;
 }
@@ -298,6 +461,105 @@ SolveResult bicgstab_dist(const DistOp<T>& a,
       return res;
     }
     rho_old = rho;
+  }
+  return res;
+}
+
+/// Fused-reduction BiCGSTAB: three merge points per iteration against
+/// bicgstab_dist's six — (rt,v) alone after the first matvec, then the
+/// batch {(t,s), (t,t), (s,s)} after the second, then {(r,r), (rt,r)}
+/// where next iteration's shadow product rides with the convergence norm.
+/// The s-norm early exit moves after the second matvec (costing one extra
+/// matvec in the final iteration only); iterates match the serial
+/// bicgstab_fused() reference.
+template <class T>
+SolveResult bicgstab_fused_dist(const DistOp<T>& a,
+                                const hpf::DistributedVector<T>& b,
+                                hpf::DistributedVector<T>& x,
+                                const SolveOptions& opts = {}) {
+  SolveResult res;
+  const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  auto r = hpf::DistributedVector<T>::aligned_like(b);
+  auto rt = hpf::DistributedVector<T>::aligned_like(b);
+  auto p = hpf::DistributedVector<T>::aligned_like(b);
+  auto v = hpf::DistributedVector<T>::aligned_like(b);
+  auto s = hpf::DistributedVector<T>::aligned_like(b);
+  auto t = hpf::DistributedVector<T>::aligned_like(b);
+
+  a(x, t);
+  hpf::assign(b, r);
+  hpf::axpy<T>(T{-1}, t, r);
+  hpf::assign(r, rt);
+  // Merge point 0: convergence norm + first shadow product, one batch.
+  const auto d0 = hpf::dot_products(r, r, rt, r);
+  const double rnorm0 = std::sqrt(static_cast<double>(d0[0]));
+  T rho = d0[1];
+  res.relative_residual = bnorm > 0.0 ? rnorm0 / bnorm : rnorm0;
+  detail::dist_record(res, opts, rnorm0);
+  if (rnorm0 <= stop) {
+    res.converged = true;
+    return res;
+  }
+
+  T rho_old{1}, alpha{1}, omega{1};
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    if (rho == T{} || omega == T{}) {
+      res.breakdown = true;
+      break;
+    }
+    if (k == 0) {
+      hpf::assign(r, p);
+    } else {
+      const T beta = (rho / rho_old) * (alpha / omega);
+      hpf::axpy<T>(-omega, v, p);
+      hpf::aypx<T>(beta, r, p);  // p = r + beta (p - omega v)
+    }
+    a(p, v);
+    const T rtv = hpf::dot_product(rt, v);  // merge point 1 (width 1)
+    if (rtv == T{}) {
+      res.breakdown = true;
+      break;
+    }
+    alpha = rho / rtv;
+    hpf::assign(r, s);
+    hpf::axpy<T>(-alpha, v, s);
+    a(s, t);  // unconditional: the s-norm check rides the next merge
+    // Merge point 2 (width 3): omega numerator/denominator + s-norm.
+    const auto d2 = hpf::dot_products(t, s, t, t, s, s);
+    const T ts = d2[0];
+    const T tt = d2[1];
+    const double snorm = std::sqrt(static_cast<double>(d2[2]));
+    if (snorm <= stop) {
+      hpf::axpy<T>(alpha, p, x);
+      res.iterations = k + 1;
+      res.relative_residual = bnorm > 0.0 ? snorm / bnorm : snorm;
+      detail::dist_record(res, opts, snorm);
+      res.converged = true;
+      return res;
+    }
+    if (tt == T{}) {
+      res.breakdown = true;
+      break;
+    }
+    omega = ts / tt;
+    hpf::axpy<T>(alpha, p, x);
+    hpf::axpy<T>(omega, s, x);
+    hpf::assign(s, r);
+    hpf::axpy<T>(-omega, t, r);
+    // Merge point 3 (width 2): convergence norm + next iteration's rho.
+    const auto d3 = hpf::dot_products(r, r, rt, r);
+    const double rnorm = std::sqrt(static_cast<double>(d3[0]));
+    res.iterations = k + 1;
+    res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+    detail::dist_record(res, opts, rnorm);
+    if (rnorm <= stop) {
+      res.converged = true;
+      return res;
+    }
+    rho_old = rho;
+    rho = d3[1];
   }
   return res;
 }

@@ -34,6 +34,19 @@ SolveResult cg(const MatVec& a, std::span<const double> b,
 SolveResult cg(const sparse::Csr<double>& a, std::span<const double> b,
                std::span<double> x, const SolveOptions& opts = {});
 
+/// Chronopoulos–Gear single-reduction CG: algebraically equivalent to cg()
+/// but restructured so the two inner products of an iteration — (r,r) and
+/// (w,r) with w = A r — are computed back to back and can be merged in ONE
+/// collective in the distributed version (cg_fused_dist).  alpha is updated
+/// by recurrence instead of from (p, A p); the price is one extra matvec at
+/// start-up and one extra recurrence vector s = A p.  This serial form is
+/// the bitwise ground truth the distributed fused solver is verified
+/// against (same recurrence, only the reduction order differs).
+SolveResult cg_fused(const MatVec& a, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts = {});
+SolveResult cg_fused(const sparse::Csr<double>& a, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts = {});
+
 /// Preconditioned CG.
 SolveResult pcg(const MatVec& a, const PrecApply& m_inv,
                 std::span<const double> b, std::span<double> x,
@@ -41,6 +54,17 @@ SolveResult pcg(const MatVec& a, const PrecApply& m_inv,
 SolveResult pcg(const sparse::Csr<double>& a, const PrecApply& m_inv,
                 std::span<const double> b, std::span<double> x,
                 const SolveOptions& opts = {});
+
+/// Chronopoulos–Gear preconditioned CG: one fused group of three inner
+/// products — (r,u), (w,u), (r,r) with u = M^{-1} r, w = A u — per
+/// iteration, against pcg()'s three separate merges.  Serial ground truth
+/// for pcg_fused_dist.
+SolveResult pcg_fused(const MatVec& a, const PrecApply& m_inv,
+                      std::span<const double> b, std::span<double> x,
+                      const SolveOptions& opts = {});
+SolveResult pcg_fused(const sparse::Csr<double>& a, const PrecApply& m_inv,
+                      std::span<const double> b, std::span<double> x,
+                      const SolveOptions& opts = {});
 
 /// BiCG: needs A and A^T products.  For symmetric A it produces the same
 /// iterates as CG (a test invariant).
@@ -61,5 +85,18 @@ SolveResult bicgstab(const MatVec& a, std::span<const double> b,
                      std::span<double> x, const SolveOptions& opts = {});
 SolveResult bicgstab(const sparse::Csr<double>& a, std::span<const double> b,
                      std::span<double> x, const SolveOptions& opts = {});
+
+/// Fused-reduction BiCGSTAB: the six inner products of an iteration are
+/// regrouped into three merge points — (rt,v) alone, then {(t,s), (t,t),
+/// (s,s)} after the second matvec, then {(r,r), (rt,r)} where the shadow
+/// product for the NEXT iteration rides along with the convergence norm.
+/// The s-norm early exit moves after the second matvec (one extra matvec
+/// in the final iteration only); iterates are otherwise identical to
+/// bicgstab().  Serial ground truth for bicgstab_fused_dist.
+SolveResult bicgstab_fused(const MatVec& a, std::span<const double> b,
+                           std::span<double> x, const SolveOptions& opts = {});
+SolveResult bicgstab_fused(const sparse::Csr<double>& a,
+                           std::span<const double> b, std::span<double> x,
+                           const SolveOptions& opts = {});
 
 }  // namespace hpfcg::solvers

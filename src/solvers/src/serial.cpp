@@ -85,6 +85,65 @@ SolveResult cg(const sparse::Csr<double>& a, std::span<const double> b,
   return cg(wrap(a), b, x, opts);
 }
 
+SolveResult cg_fused(const MatVec& a, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts) {
+  HPFCG_REQUIRE(b.size() == x.size(), "cg_fused: dimension mismatch");
+  const std::size_t n = b.size();
+  SolveResult res;
+  const double bnorm = norm2(b);
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  std::vector<double> r(n), w(n), p(n), s(n);
+  a(x, w);  // scratch: w = A x0
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - w[i];
+  a(r, w);  // the extra start-up matvec of the fused recurrence
+  // In the distributed solver these two dots are ONE merge.
+  double gamma = dot_local<double>(r, r);
+  double delta = dot_local<double>(w, r);
+  record(res, opts, std::sqrt(gamma), bnorm);
+  if (std::sqrt(gamma) <= stop) {
+    res.converged = true;
+    return res;
+  }
+  if (delta == 0.0) {
+    res.breakdown = true;
+    return res;
+  }
+  double alpha = gamma / delta;
+  util::copy<double>(r, p);
+  util::copy<double>(w, s);
+
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    axpy<double>(alpha, p, x);   // x = x + alpha p
+    axpy<double>(-alpha, s, r);  // r = r - alpha s   (s = A p by recurrence)
+    a(r, w);                     // w = A r — the iteration's only matvec
+    const double gamma_new = dot_local<double>(r, r);
+    const double delta_new = dot_local<double>(w, r);
+    res.iterations = k + 1;
+    record(res, opts, std::sqrt(gamma_new), bnorm);
+    if (std::sqrt(gamma_new) <= stop) {
+      res.converged = true;
+      return res;
+    }
+    const double beta = gamma_new / gamma;
+    const double denom = delta_new - beta * gamma_new / alpha;
+    if (denom == 0.0) {
+      res.breakdown = true;
+      break;
+    }
+    alpha = gamma_new / denom;
+    aypx<double>(beta, r, p);  // p = r + beta p
+    aypx<double>(beta, w, s);  // s = w + beta s   (= A p, no extra matvec)
+    gamma = gamma_new;
+  }
+  return res;
+}
+
+SolveResult cg_fused(const sparse::Csr<double>& a, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts) {
+  return cg_fused(wrap(a), b, x, opts);
+}
+
 SolveResult pcg(const MatVec& a, const PrecApply& m_inv,
                 std::span<const double> b, std::span<double> x,
                 const SolveOptions& opts) {
@@ -136,6 +195,75 @@ SolveResult pcg(const sparse::Csr<double>& a, const PrecApply& m_inv,
                 std::span<const double> b, std::span<double> x,
                 const SolveOptions& opts) {
   return pcg(wrap(a), m_inv, b, x, opts);
+}
+
+SolveResult pcg_fused(const MatVec& a, const PrecApply& m_inv,
+                      std::span<const double> b, std::span<double> x,
+                      const SolveOptions& opts) {
+  HPFCG_REQUIRE(b.size() == x.size(), "pcg_fused: dimension mismatch");
+  const std::size_t n = b.size();
+  SolveResult res;
+  const double bnorm = norm2(b);
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  std::vector<double> r(n), u(n), w(n), p(n), s(n);
+  a(x, w);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - w[i];
+  m_inv(r, u);
+  a(u, w);
+  // One fused merge of three inner products in the distributed solver.
+  double gamma = dot_local<double>(r, u);
+  double rr = dot_local<double>(r, r);
+  double delta = dot_local<double>(w, u);
+  record(res, opts, std::sqrt(rr), bnorm);
+  if (std::sqrt(rr) <= stop) {
+    res.converged = true;
+    return res;
+  }
+  if (delta == 0.0) {
+    res.breakdown = true;
+    return res;
+  }
+  double alpha = gamma / delta;
+  util::copy<double>(u, p);
+  util::copy<double>(w, s);
+
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    axpy<double>(alpha, p, x);
+    axpy<double>(-alpha, s, r);  // s = A p by recurrence
+    m_inv(r, u);
+    a(u, w);
+    const double gamma_new = dot_local<double>(r, u);
+    const double delta_new = dot_local<double>(w, u);
+    rr = dot_local<double>(r, r);
+    res.iterations = k + 1;
+    record(res, opts, std::sqrt(rr), bnorm);
+    if (std::sqrt(rr) <= stop) {
+      res.converged = true;
+      return res;
+    }
+    if (gamma == 0.0) {
+      res.breakdown = true;
+      break;
+    }
+    const double beta = gamma_new / gamma;
+    const double denom = delta_new - beta * gamma_new / alpha;
+    if (denom == 0.0) {
+      res.breakdown = true;
+      break;
+    }
+    alpha = gamma_new / denom;
+    aypx<double>(beta, u, p);  // p = u + beta p
+    aypx<double>(beta, w, s);  // s = w + beta s
+    gamma = gamma_new;
+  }
+  return res;
+}
+
+SolveResult pcg_fused(const sparse::Csr<double>& a, const PrecApply& m_inv,
+                      std::span<const double> b, std::span<double> x,
+                      const SolveOptions& opts) {
+  return pcg_fused(wrap(a), m_inv, b, x, opts);
 }
 
 SolveResult bicg(const MatVec& a, const MatVec& a_transpose,
@@ -340,6 +468,93 @@ SolveResult bicgstab(const MatVec& a, std::span<const double> b,
 SolveResult bicgstab(const sparse::Csr<double>& a, std::span<const double> b,
                      std::span<double> x, const SolveOptions& opts) {
   return bicgstab(wrap(a), b, x, opts);
+}
+
+SolveResult bicgstab_fused(const MatVec& a, std::span<const double> b,
+                           std::span<double> x, const SolveOptions& opts) {
+  HPFCG_REQUIRE(b.size() == x.size(), "bicgstab_fused: dimension mismatch");
+  const std::size_t n = b.size();
+  SolveResult res;
+  const double bnorm = norm2(b);
+  const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  std::vector<double> r(n), rt(n), p(n), v(n), s(n), t(n);
+  a(x, t);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - t[i];
+  util::copy<double>(r, rt);
+  // Merge point 0: convergence norm and the first shadow product together
+  // (rt = r here, but the distributed solver fuses them regardless).
+  const double rr0 = dot_local<double>(r, r);
+  double rho = dot_local<double>(rt, r);
+  record(res, opts, std::sqrt(rr0), bnorm);
+  if (std::sqrt(rr0) <= stop) {
+    res.converged = true;
+    return res;
+  }
+
+  double rho_old = 1.0, alpha = 1.0, omega = 1.0;
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    if (rho == 0.0 || omega == 0.0) {
+      res.breakdown = true;
+      break;
+    }
+    if (k == 0) {
+      util::copy<double>(r, p);
+    } else {
+      const double beta = (rho / rho_old) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      }
+    }
+    a(p, v);
+    const double rtv = dot_local<double>(rt, v);  // merge point 1 (width 1)
+    if (rtv == 0.0) {
+      res.breakdown = true;
+      break;
+    }
+    alpha = rho / rtv;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    a(s, t);  // unconditional: the s-norm check rides the next merge
+    // Merge point 2 (width 3): omega numerator/denominator + s-norm.
+    const double ts = dot_local<double>(t, s);
+    const double tt = dot_local<double>(t, t);
+    const double ss = dot_local<double>(s, s);
+    const double snorm = std::sqrt(ss);
+    if (snorm <= stop) {
+      axpy<double>(alpha, p, x);
+      res.iterations = k + 1;
+      record(res, opts, snorm, bnorm);
+      res.converged = true;
+      return res;
+    }
+    if (tt == 0.0) {
+      res.breakdown = true;
+      break;
+    }
+    omega = ts / tt;
+    axpy<double>(alpha, p, x);
+    axpy<double>(omega, s, x);
+    for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+    // Merge point 3 (width 2): convergence norm + next iteration's rho.
+    const double rr = dot_local<double>(r, r);
+    const double rtr = dot_local<double>(rt, r);
+    const double rnorm = std::sqrt(rr);
+    res.iterations = k + 1;
+    record(res, opts, rnorm, bnorm);
+    if (rnorm <= stop) {
+      res.converged = true;
+      return res;
+    }
+    rho_old = rho;
+    rho = rtr;
+  }
+  return res;
+}
+
+SolveResult bicgstab_fused(const sparse::Csr<double>& a,
+                           std::span<const double> b, std::span<double> x,
+                           const SolveOptions& opts) {
+  return bicgstab_fused(wrap(a), b, x, opts);
 }
 
 }  // namespace hpfcg::solvers

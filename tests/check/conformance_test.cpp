@@ -100,6 +100,32 @@ TEST(CheckCollectiveConformance, MismatchedMergeLengthNamesDivergentRank) {
   EXPECT_NE(msg.find("count=6"), std::string::npos) << msg;
 }
 
+TEST(CheckCollectiveConformance, MismatchedBatchWidthNamesDivergentRank) {
+  // A rank fusing a different number of scalars into allreduce_batch would
+  // deadlock the tree (payload lengths disagree); the ledger names it
+  // first, since the batch width is the fingerprint's count.
+  const std::string msg = failure_message(4, [](Process& p) {
+    std::vector<double> vals(p.rank() == 2 ? 3 : 2, 1.0);
+    p.allreduce_batch<double>(vals);
+  });
+  EXPECT_NE(msg.find("collective conformance violation"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("rank 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("allreduce_batch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("count=3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("count=2"), std::string::npos) << msg;
+}
+
+TEST(CheckCollectiveConformance, MismatchedReduceBatchRootNamesRank) {
+  const std::string msg = failure_message(4, [](Process& p) {
+    std::vector<double> vals(2, 1.0);
+    p.reduce_batch<double>(p.rank() == 1 ? 2 : 0, vals);
+  });
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("reduce_batch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("root=2"), std::string::npos) << msg;
+}
+
 TEST(CheckCollectiveConformance, ConformingProgramsPassUntouched) {
   check::ScopedEnable on;
   for (int np : hpfcg_test::test_machine_sizes()) {
@@ -238,6 +264,8 @@ TEST(CheckSideChannel, EnablingCheckPerturbsNoCounters) {
     EXPECT_EQ(off.flops, on.flops) << "np=" << np;
     EXPECT_EQ(off.barriers, on.barriers) << "np=" << np;
     EXPECT_EQ(off.collectives, on.collectives) << "np=" << np;
+    EXPECT_EQ(off.reductions, on.reductions) << "np=" << np;
+    EXPECT_EQ(off.reduction_values, on.reduction_values) << "np=" << np;
     EXPECT_DOUBLE_EQ(off.modeled_comm_seconds, on.modeled_comm_seconds);
     EXPECT_DOUBLE_EQ(off.modeled_compute_seconds, on.modeled_compute_seconds);
     EXPECT_DOUBLE_EQ(off.modeled_wait_seconds, on.modeled_wait_seconds);

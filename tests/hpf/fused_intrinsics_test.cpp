@@ -1,0 +1,121 @@
+// hpf::dot_products must be a drop-in fusion of k dot_product calls:
+// bit-identical results (same local kernel, same merge tree) while paying
+// one reduction instead of k, for every machine size.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::hpf::DotPair;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+class FusedIntrinsicsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusedIntrinsicsTest, PairFormBitIdenticalToTwoDots) {
+  const int np = GetParam();
+  const std::size_t n = 95;  // uneven blocks on most machine sizes
+  run_spmd(np, [n](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    DistributedVector<double> r(proc, dist), w(proc, dist);
+    r.set_from([](std::size_t g) { return std::sin(0.3 * g) + 0.1; });
+    w.set_from([](std::size_t g) { return std::cos(0.7 * g) - 0.2; });
+    const auto fused = hpfcg::hpf::dot_products(r, r, w, r);
+    EXPECT_EQ(fused[0], hpfcg::hpf::dot_product(r, r));
+    EXPECT_EQ(fused[1], hpfcg::hpf::dot_product(w, r));
+  });
+}
+
+TEST_P(FusedIntrinsicsTest, TripleFormBitIdenticalToThreeDots) {
+  const int np = GetParam();
+  const std::size_t n = 64;
+  run_spmd(np, [n](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    DistributedVector<double> r(proc, dist), u(proc, dist), w(proc, dist);
+    r.set_from([](std::size_t g) { return 1.0 / (1.0 + g); });
+    u.set_from([](std::size_t g) { return std::sin(1.1 * g); });
+    w.set_from([](std::size_t g) { return 0.5 * g - 3.0; });
+    const auto fused = hpfcg::hpf::dot_products(r, u, w, u, r, r);
+    EXPECT_EQ(fused[0], hpfcg::hpf::dot_product(r, u));
+    EXPECT_EQ(fused[1], hpfcg::hpf::dot_product(w, u));
+    EXPECT_EQ(fused[2], hpfcg::hpf::dot_product(r, r));
+  });
+}
+
+TEST_P(FusedIntrinsicsTest, SpanFormHandlesArbitraryWidth) {
+  const int np = GetParam();
+  const std::size_t n = 40;
+  const std::size_t k = 11;  // wider than any solver needs
+  run_spmd(np, [n, k](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    std::vector<DistributedVector<double>> vecs;
+    vecs.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      vecs.emplace_back(proc, dist);
+      vecs.back().set_from(
+          [j](std::size_t g) { return std::sin(0.1 * j + 0.01 * g); });
+    }
+    std::vector<DotPair<double>> pairs(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      pairs[j] = {&vecs[j], &vecs[(j + 1) % k]};
+    }
+    std::vector<double> out(k);
+    hpfcg::hpf::dot_products<double>(pairs, out);
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_EQ(out[j],
+                hpfcg::hpf::dot_product(vecs[j], vecs[(j + 1) % k]));
+    }
+  });
+}
+
+TEST_P(FusedIntrinsicsTest, WidthZeroIsCommunicationFreeNoOp) {
+  const int np = GetParam();
+  auto rt = run_spmd(np, [](Process& proc) {
+    std::span<const DotPair<double>> pairs;
+    std::span<double> out;
+    hpfcg::hpf::dot_products<double>(pairs, out);  // documented no-op
+  });
+  const auto total = rt->total_stats();
+  EXPECT_EQ(total.collectives, 0u);
+  EXPECT_EQ(total.reductions, 0u);
+  EXPECT_EQ(total.messages_sent, 0u);
+}
+
+TEST_P(FusedIntrinsicsTest, OneReductionRegardlessOfWidth) {
+  const int np = GetParam();
+  const std::size_t n = 32;
+  auto rt = run_spmd(np, [n](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    DistributedVector<double> a(proc, dist), b(proc, dist);
+    a.set_from([](std::size_t g) { return static_cast<double>(g); });
+    b.set_from([](std::size_t g) { return static_cast<double>(g % 3); });
+    (void)hpfcg::hpf::dot_products(a, a, b, b);        // width 2
+    (void)hpfcg::hpf::dot_products(a, b, b, a, a, a);  // width 3
+  });
+  for (int r = 0; r < np; ++r) {
+    EXPECT_EQ(rt->stats(r).reductions, 2u);
+    EXPECT_EQ(rt->stats(r).reduction_values, 5u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, FusedIntrinsicsTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

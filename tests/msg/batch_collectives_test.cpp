@@ -1,0 +1,156 @@
+// The fused reductions must be drop-in replacements for sequences of
+// scalar merges: allreduce_batch over k values walks the same rank-order
+// binomial tree as k scalar allreduce calls, so the results are required
+// to be BIT-identical — not just close — for every machine size,
+// including non-powers of two, and for k = 0, 1 and widths past the
+// inline/stack fast paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hpfcg/msg/process.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+/// Deterministic per-rank inputs with enough bit variety that a wrong
+/// reduction order shows up in the low mantissa bits.
+double value_for(int rank, std::size_t i) {
+  return std::sin(static_cast<double>(rank + 1) * 0.7 +
+                  static_cast<double>(i) * 1.3) *
+         (1.0 + static_cast<double>(i % 5));
+}
+
+class BatchCollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchCollectivesTest, AllreduceBatchBitIdenticalToScalarSequence) {
+  const int np = GetParam();
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{5}}) {
+    run_spmd(np, [k](Process& p) {
+      std::vector<double> batch(k), scalar(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        batch[i] = scalar[i] = value_for(p.rank(), i);
+      }
+      p.allreduce_batch<double>(batch);
+      for (std::size_t i = 0; i < k; ++i) {
+        scalar[i] = p.allreduce(scalar[i]);
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        // Same binomial tree => same association order => same bits.
+        EXPECT_EQ(batch[i], scalar[i]) << "k=" << k << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST_P(BatchCollectivesTest, AllreduceBatchLargeWidthTakesHeapPaths) {
+  // Width past the 64-byte inline envelope (8 doubles) AND past the
+  // 16-element partner stack buffer: both heap paths must stay exact.
+  const int np = GetParam();
+  const std::size_t k = 37;
+  run_spmd(np, [k](Process& p) {
+    std::vector<double> batch(k), scalar(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      batch[i] = scalar[i] = value_for(p.rank(), i);
+    }
+    p.allreduce_batch<double>(batch);
+    for (std::size_t i = 0; i < k; ++i) scalar[i] = p.allreduce(scalar[i]);
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(batch[i], scalar[i]);
+  });
+}
+
+TEST_P(BatchCollectivesTest, AllreduceBatchWidthZeroIsHarmless) {
+  const int np = GetParam();
+  run_spmd(np, [](Process& p) {
+    std::vector<double> empty;
+    p.allreduce_batch<double>(empty);
+    // The machine stays usable and ordered afterwards.
+    const double v = p.allreduce(1.0);
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(p.nprocs()));
+  });
+}
+
+TEST_P(BatchCollectivesTest, AllreduceBatchCustomOp) {
+  const int np = GetParam();
+  run_spmd(np, [np](Process& p) {
+    std::vector<std::int64_t> v = {p.rank(), -p.rank(), 7};
+    p.allreduce_batch<std::int64_t>(
+        v, [](std::int64_t a, std::int64_t b) { return a > b ? a : b; });
+    EXPECT_EQ(v[0], np - 1);
+    EXPECT_EQ(v[1], 0);
+    EXPECT_EQ(v[2], 7);
+  });
+}
+
+TEST_P(BatchCollectivesTest, ReduceBatchBitIdenticalAtEveryRoot) {
+  const int np = GetParam();
+  const std::size_t k = 4;
+  for (int root = 0; root < np; ++root) {
+    run_spmd(np, [k, root](Process& p) {
+      std::vector<double> batch(k), scalar(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        batch[i] = scalar[i] = value_for(p.rank(), i);
+      }
+      p.reduce_batch<double>(root, batch);
+      for (std::size_t i = 0; i < k; ++i) {
+        scalar[i] = p.reduce(root, scalar[i]);
+      }
+      if (p.rank() == root) {
+        for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(batch[i], scalar[i]);
+      }
+    });
+  }
+}
+
+TEST_P(BatchCollectivesTest, BatchPaysOneTreeOfMessages) {
+  // The point of fusing: a width-k batch moves exactly as many messages as
+  // ONE scalar allreduce — the per-hop start-up is paid once, not k times.
+  const int np = GetParam();
+  const std::size_t k = 4;
+  const auto count_messages = [&](bool fused) {
+    auto rt = run_spmd(np, [&](Process& p) {
+      std::vector<double> v(k, static_cast<double>(p.rank()));
+      if (fused) {
+        p.allreduce_batch<double>(v);
+      } else {
+        for (auto& x : v) x = p.allreduce(x);
+      }
+    });
+    return rt->total_stats().messages_sent;
+  };
+  const auto one_scalar = [&] {
+    auto rt = run_spmd(np, [](Process& p) { (void)p.allreduce(1.0); });
+    return rt->total_stats().messages_sent;
+  };
+  EXPECT_EQ(count_messages(true), one_scalar());
+  if (np > 1) EXPECT_EQ(count_messages(false), k * one_scalar());
+}
+
+TEST_P(BatchCollectivesTest, ReductionCountersTrackBatchWidth) {
+  const int np = GetParam();
+  auto rt = run_spmd(np, [](Process& p) {
+    std::vector<double> v3(3, 1.0);
+    p.allreduce_batch<double>(v3);   // 1 reduction, 3 values
+    (void)p.allreduce(2.0);          // 1 reduction, 1 value
+    std::vector<double> v2(2, 1.0);
+    p.reduce_batch<double>(0, v2);   // 1 reduction, 2 values
+  });
+  for (int r = 0; r < np; ++r) {
+    EXPECT_EQ(rt->stats(r).reductions, 3u);
+    EXPECT_EQ(rt->stats(r).reduction_values, 6u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, BatchCollectivesTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

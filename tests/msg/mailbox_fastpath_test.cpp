@@ -1,0 +1,241 @@
+// The mailbox's matching guarantees — FIFO per (src, tag) and
+// arrival-order fairness for any-source receives — must survive the
+// fast-path machinery (per-source shards, inline payloads, pooled
+// buffers), including for zero-length payloads, and with every fast path
+// toggled off.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "hpfcg/msg/mailbox.hpp"
+#include "hpfcg/msg/process.hpp"
+#include "spmd_test_util.hpp"
+
+using hpfcg::msg::Envelope;
+using hpfcg::msg::kAnySource;
+using hpfcg::msg::Mailbox;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+/// Restore the global fast-path toggles however a test leaves them.
+struct ToggleGuard {
+  bool pooling = hpfcg::msg::buffer_pooling();
+  bool inlined = hpfcg::msg::inline_payloads();
+  ~ToggleGuard() {
+    hpfcg::msg::set_buffer_pooling(pooling);
+    hpfcg::msg::set_inline_payloads(inlined);
+  }
+};
+
+/// Deposit a one-byte message whose payload identifies it.
+void post(Mailbox& mb, int src, int tag, std::uint8_t marker) {
+  Envelope env = mb.make_envelope(src, tag, 1);
+  *env.data() = static_cast<std::byte>(marker);
+  mb.deposit(std::move(env));
+}
+
+std::uint8_t marker_of(const Envelope& env) {
+  return static_cast<std::uint8_t>(*env.data());
+}
+
+TEST(MailboxFastPathTest, FifoPerSourceAndTag) {
+  Mailbox mb(2);
+  for (std::uint8_t m = 0; m < 5; ++m) post(mb, 1, 7, m);
+  for (std::uint8_t m = 0; m < 5; ++m) {
+    Envelope env = mb.receive(1, 7);
+    EXPECT_EQ(marker_of(env), m);
+    mb.recycle(std::move(env));
+  }
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(MailboxFastPathTest, DirectedReceiveSkipsOtherTagsNotOrder) {
+  Mailbox mb(2);
+  post(mb, 1, /*tag=*/1, 10);
+  post(mb, 1, /*tag=*/2, 20);
+  post(mb, 1, /*tag=*/1, 11);
+  // Pulling tag 2 first must not disturb tag 1's FIFO order.
+  Envelope env = mb.receive(1, 2);
+  EXPECT_EQ(marker_of(env), 20);
+  env = mb.receive(1, 1);
+  EXPECT_EQ(marker_of(env), 10);
+  env = mb.receive(1, 1);
+  EXPECT_EQ(marker_of(env), 11);
+}
+
+TEST(MailboxFastPathTest, AnySourceMatchesGloballyOldestAcrossShards) {
+  Mailbox mb(4);
+  // Arrival order crosses shards: 3, 1, 3, 0.  Any-source must replay it.
+  post(mb, 3, 9, 30);
+  post(mb, 1, 9, 10);
+  post(mb, 3, 9, 31);
+  post(mb, 0, 9, 0);
+  const std::uint8_t expect[] = {30, 10, 31, 0};
+  const int expect_src[] = {3, 1, 3, 0};
+  for (int i = 0; i < 4; ++i) {
+    Envelope env = mb.receive(kAnySource, 9);
+    EXPECT_EQ(marker_of(env), expect[i]) << "i=" << i;
+    EXPECT_EQ(env.src, expect_src[i]) << "i=" << i;
+  }
+}
+
+TEST(MailboxFastPathTest, AnySourceFairnessWithZeroLengthPayloads) {
+  Mailbox mb(3);
+  // Zero-length messages are ordinary messages: same fairness rule.
+  mb.deposit(mb.make_envelope(2, 4, 0));
+  mb.deposit(mb.make_envelope(0, 4, 0));
+  mb.deposit(mb.make_envelope(2, 4, 0));
+  Envelope env = mb.receive(kAnySource, 4);
+  EXPECT_EQ(env.src, 2);
+  EXPECT_TRUE(env.empty());
+  env = mb.receive(kAnySource, 4);
+  EXPECT_EQ(env.src, 0);
+  env = mb.receive(kAnySource, 4);
+  EXPECT_EQ(env.src, 2);
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(MailboxFastPathTest, AnySourceNotStarvedByFloodFromOneRank) {
+  Mailbox mb(2);
+  post(mb, 0, 5, 100);             // oldest
+  for (std::uint8_t m = 0; m < 50; ++m) post(mb, 1, 5, m);  // flood
+  Envelope env = mb.receive(kAnySource, 5);
+  EXPECT_EQ(env.src, 0);           // flood cannot overtake the older message
+  EXPECT_EQ(marker_of(env), 100);
+}
+
+TEST(MailboxFastPathTest, TryReceiveMatchesOrReportsEmpty) {
+  Mailbox mb(2);
+  Envelope out;
+  EXPECT_FALSE(mb.try_receive(kAnySource, 3, out));
+  post(mb, 1, 3, 42);
+  EXPECT_FALSE(mb.try_receive(1, 4, out));  // wrong tag
+  EXPECT_FALSE(mb.try_receive(0, 3, out));  // wrong source
+  ASSERT_TRUE(mb.try_receive(1, 3, out));
+  EXPECT_EQ(marker_of(out), 42);
+  EXPECT_FALSE(mb.try_receive(1, 3, out));
+}
+
+TEST(MailboxFastPathTest, InlineStorageBoundaryAt64Bytes) {
+  ToggleGuard guard;
+  hpfcg::msg::set_inline_payloads(true);
+  Mailbox mb(1);
+  Envelope at = mb.make_envelope(0, 1, Envelope::kInlineCapacity);
+  EXPECT_TRUE(at.stored_inline());
+  EXPECT_EQ(at.size(), Envelope::kInlineCapacity);
+  Envelope over = mb.make_envelope(0, 1, Envelope::kInlineCapacity + 1);
+  EXPECT_FALSE(over.stored_inline());
+  EXPECT_EQ(over.size(), Envelope::kInlineCapacity + 1);
+
+  hpfcg::msg::set_inline_payloads(false);
+  Envelope off = mb.make_envelope(0, 1, 8);
+  EXPECT_FALSE(off.stored_inline());  // fast path disabled => heap
+  EXPECT_EQ(off.size(), 8u);
+}
+
+TEST(MailboxFastPathTest, PayloadsSurviveEitherStorage) {
+  ToggleGuard guard;
+  for (const bool inline_on : {true, false}) {
+    hpfcg::msg::set_inline_payloads(inline_on);
+    Mailbox mb(1);
+    for (const std::size_t bytes : {std::size_t{8}, std::size_t{64},
+                                    std::size_t{65}, std::size_t{4096}}) {
+      Envelope env = mb.make_envelope(0, 2, bytes);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        env.data()[i] = static_cast<std::byte>((i * 7 + bytes) & 0xFF);
+      }
+      mb.deposit(std::move(env));
+      Envelope got = mb.receive(0, 2);
+      ASSERT_EQ(got.size(), bytes);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        ASSERT_EQ(got.data()[i], static_cast<std::byte>((i * 7 + bytes) & 0xFF))
+            << "inline_on=" << inline_on << " bytes=" << bytes << " i=" << i;
+      }
+      mb.recycle(std::move(got));
+    }
+  }
+}
+
+TEST(MailboxFastPathTest, RecycledHeapBuffersAreReused) {
+  ToggleGuard guard;
+  hpfcg::msg::set_buffer_pooling(true);
+  hpfcg::msg::set_inline_payloads(true);
+  Mailbox mb(1);
+  const std::size_t big = 1024;  // forces heap storage
+
+  Envelope env = mb.make_envelope(0, 1, big);
+  std::memset(env.data(), 0xAB, big);
+  mb.deposit(std::move(env));
+  Envelope got = mb.receive(0, 1);
+  EXPECT_EQ(mb.pooled_buffers(), 0u);
+  mb.recycle(std::move(got));
+  EXPECT_EQ(mb.pooled_buffers(), 1u);  // heap buffer parked in freelist
+
+  // The next large envelope draws the parked buffer instead of allocating.
+  Envelope reuse = mb.make_envelope(0, 1, big);
+  EXPECT_EQ(mb.pooled_buffers(), 0u);
+  EXPECT_FALSE(reuse.stored_inline());
+
+  // Inline envelopes contribute nothing to the pool.
+  mb.recycle(mb.make_envelope(0, 1, 8));
+  EXPECT_EQ(mb.pooled_buffers(), 0u);
+}
+
+TEST(MailboxFastPathTest, PoolingDisabledNeverParksBuffers) {
+  ToggleGuard guard;
+  hpfcg::msg::set_buffer_pooling(false);
+  Mailbox mb(1);
+  Envelope env = mb.make_envelope(0, 1, 1024);
+  mb.deposit(std::move(env));
+  Envelope got = mb.receive(0, 1);
+  mb.recycle(std::move(got));
+  EXPECT_EQ(mb.pooled_buffers(), 0u);
+}
+
+class MailboxSpmdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MailboxSpmdTest, AnySourceReceivesEveryRankOnceUnderToggles) {
+  // End-to-end across real sender threads, with each fast-path combination:
+  // rank 0 drains np-1 any-source messages (half of them zero-length) and
+  // must see every sender exactly once with the right payload.
+  const int np = GetParam();
+  if (np == 1) GTEST_SKIP() << "needs at least one sender";
+  ToggleGuard guard;
+  for (const bool pooling : {true, false}) {
+    for (const bool inlined : {true, false}) {
+      hpfcg::msg::set_buffer_pooling(pooling);
+      hpfcg::msg::set_inline_payloads(inlined);
+      run_spmd(np, [](Process& p) {
+        constexpr int kTag = 77;
+        if (p.rank() == 0) {
+          std::set<int> seen;
+          for (int i = 1; i < p.nprocs(); ++i) {
+            int src = -1;
+            const auto payload = p.recv_any<std::int32_t>(kTag, src);
+            const bool expect_empty = (src % 2) == 0;
+            EXPECT_EQ(payload.empty(), expect_empty);
+            if (!payload.empty()) EXPECT_EQ(payload[0], src * 10);
+            EXPECT_TRUE(seen.insert(src).second) << "duplicate src " << src;
+          }
+          EXPECT_EQ(static_cast<int>(seen.size()), p.nprocs() - 1);
+        } else if (p.rank() % 2 == 0) {
+          p.send<std::int32_t>(0, kTag, {});  // zero-length
+        } else {
+          p.send_value<std::int32_t>(0, kTag, p.rank() * 10);
+        }
+      });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, MailboxSpmdTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

@@ -1,0 +1,292 @@
+// The communication-avoiding solver variants must (a) agree with their
+// serial fused references iterate-for-iterate for every machine size, and
+// (b) actually pay the advertised number of reductions per iteration —
+// cg_fused_dist exactly ONE against cg_dist's two (and Figure 2's literal
+// three), pcg_fused_dist one against pcg_dist's three, bicgstab_fused_dist
+// three against bicgstab_dist's six.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/solvers/preconditioner.hpp"
+#include "hpfcg/solvers/serial.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "spmd_test_util.hpp"
+
+namespace sv = hpfcg::solvers;
+namespace sp = hpfcg::sparse;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+/// 1e-10-relative agreement demanded of the distributed fused iterates.
+void expect_iterates_match(const sv::SolveResult& got,
+                           const sv::SolveResult& ref) {
+  EXPECT_TRUE(got.converged);
+  EXPECT_EQ(got.iterations, ref.iterations);
+  ASSERT_EQ(got.residual_history.size(), ref.residual_history.size());
+  for (std::size_t k = 0; k < got.residual_history.size(); ++k) {
+    EXPECT_NEAR(got.residual_history[k], ref.residual_history[k],
+                1e-10 * (1.0 + ref.residual_history[k]))
+        << "iterate " << k;
+  }
+}
+
+class FusedSolversTest : public ::testing::TestWithParam<int> {};
+
+TEST(FusedSerialTest, CgFusedSolvesLikeCg) {
+  const auto a = sp::laplacian_2d(7, 9);
+  const auto b = sp::random_rhs(a.n_rows(), 41);
+  std::vector<double> x_cg(a.n_rows(), 0.0), x_fused(a.n_rows(), 0.0);
+  const auto r1 = sv::cg(a, b, x_cg, {.rel_tolerance = 1e-10});
+  const auto r2 = sv::cg_fused(a, b, x_fused, {.rel_tolerance = 1e-10});
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  // Same Krylov process, reassociated recurrences: same solution, and the
+  // iteration count may differ by at most a step or two.
+  for (std::size_t i = 0; i < x_cg.size(); ++i) {
+    EXPECT_NEAR(x_fused[i], x_cg[i], 1e-7);
+  }
+  EXPECT_NEAR(static_cast<double>(r2.iterations),
+              static_cast<double>(r1.iterations), 2.0);
+}
+
+TEST(FusedSerialTest, PcgFusedSolvesLikePcg) {
+  const auto a = sp::random_spd(64, 5, 101);
+  const auto b = sp::random_rhs(64, 102);
+  std::vector<double> x_ref(64, 0.0), x_fused(64, 0.0);
+  const auto prec = sv::jacobi_preconditioner(a);
+  const auto r1 = sv::pcg(a, prec, b, x_ref, {.rel_tolerance = 1e-10});
+  const auto r2 = sv::pcg_fused(a, prec, b, x_fused, {.rel_tolerance = 1e-10});
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    EXPECT_NEAR(x_fused[i], x_ref[i], 1e-7);
+  }
+}
+
+TEST(FusedSerialTest, BicgstabFusedProducesSameIteratesAsBicgstab) {
+  // Same recurrence, same update order — only the merge grouping moved, so
+  // the serial fused variant tracks plain BiCGSTAB step for step.
+  const auto a = sp::random_spd(50, 5, 121);
+  const auto b = sp::random_rhs(50, 122);
+  std::vector<double> x_ref(50, 0.0), x_fused(50, 0.0);
+  const auto r1 = sv::bicgstab(a, b, x_ref,
+                               {.rel_tolerance = 1e-10,
+                                .track_residuals = true});
+  const auto r2 = sv::bicgstab_fused(a, b, x_fused,
+                                     {.rel_tolerance = 1e-10,
+                                      .track_residuals = true});
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_EQ(r2.iterations, r1.iterations);
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    EXPECT_NEAR(x_fused[i], x_ref[i], 1e-10);
+  }
+}
+
+TEST_P(FusedSolversTest, CgFusedMatchesSerialFusedIterateForIterate) {
+  const int np = GetParam();
+  const auto a = sp::laplacian_2d(7, 9);
+  const auto b_full = sp::random_rhs(a.n_rows(), 31);
+  std::vector<double> x_ref(a.n_rows(), 0.0);
+  const auto ref = sv::cg_fused(a, b_full, x_ref,
+                                {.rel_tolerance = 1e-10,
+                                 .track_residuals = true});
+  ASSERT_TRUE(ref.converged);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(a.n_rows(), proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::cg_fused_dist<double>(op, b, x,
+                                               {.rel_tolerance = 1e-10,
+                                                .track_residuals = true});
+    expect_iterates_match(res, ref);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-10 * (1.0 + std::abs(x_ref[i])));
+    }
+  });
+}
+
+TEST_P(FusedSolversTest, PcgFusedMatchesSerialFusedIterateForIterate) {
+  const int np = GetParam();
+  const auto a = sp::random_spd(64, 5, 101);
+  const auto b_full = sp::random_rhs(64, 102);
+  std::vector<double> x_ref(64, 0.0);
+  const auto ref = sv::pcg_fused(a, sv::jacobi_preconditioner(a), b_full,
+                                 x_ref,
+                                 {.rel_tolerance = 1e-10,
+                                  .track_residuals = true});
+  ASSERT_TRUE(ref.converged);
+  const auto diag = a.diagonal();
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(a.n_rows(), proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist),
+        inv_diag(proc, dist);
+    b.from_global(b_full);
+    inv_diag.set_from([&](std::size_t g) { return 1.0 / diag[g]; });
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::pcg_fused_dist<double>(op, sv::jacobi_dist(inv_diag),
+                                                b, x,
+                                                {.rel_tolerance = 1e-10,
+                                                 .track_residuals = true});
+    expect_iterates_match(res, ref);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-10 * (1.0 + std::abs(x_ref[i])));
+    }
+  });
+}
+
+TEST_P(FusedSolversTest, BicgstabFusedMatchesSerialFusedIterateForIterate) {
+  const int np = GetParam();
+  const auto a = sp::random_spd(50, 5, 121);
+  const auto b_full = sp::random_rhs(50, 122);
+  std::vector<double> x_ref(50, 0.0);
+  const auto ref = sv::bicgstab_fused(a, b_full, x_ref,
+                                      {.rel_tolerance = 1e-10,
+                                       .track_residuals = true});
+  ASSERT_TRUE(ref.converged);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(50, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res =
+        sv::bicgstab_fused_dist<double>(op, b, x,
+                                        {.rel_tolerance = 1e-10,
+                                         .track_residuals = true});
+    expect_iterates_match(res, ref);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-10 * (1.0 + std::abs(x_ref[i])));
+    }
+  });
+}
+
+enum class Solver { kCg, kCgFused, kPcg, kPcgFused, kBicgstab,
+                    kBicgstabFused };
+
+/// Reductions booked per iteration, isolated by differencing two runs with
+/// different fixed iteration counts (setup costs cancel).
+std::uint64_t reductions_per_iteration(int np, Solver which) {
+  const auto a = sp::laplacian_2d(6, 6);
+  const auto b_full = sp::random_rhs(a.n_rows(), 7);
+  const auto diag = a.diagonal();
+  const auto run_iters = [&](std::size_t iters) {
+    auto rt = run_spmd(np, [&](Process& proc) {
+      auto dist = share(Distribution::block(a.n_rows(), proc.nprocs()));
+      auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+      DistributedVector<double> b(proc, dist), x(proc, dist),
+          inv_diag(proc, dist);
+      b.from_global(b_full);
+      inv_diag.set_from([&](std::size_t g) { return 1.0 / diag[g]; });
+      const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+        mat.matvec(p, q);
+      };
+      const sv::SolveOptions opts{.max_iterations = iters,
+                                  .rel_tolerance = 1e-30};
+      switch (which) {
+        case Solver::kCg:
+          (void)sv::cg_dist<double>(op, b, x, opts);
+          break;
+        case Solver::kCgFused:
+          (void)sv::cg_fused_dist<double>(op, b, x, opts);
+          break;
+        case Solver::kPcg:
+          (void)sv::pcg_dist<double>(op, sv::jacobi_dist(inv_diag), b, x,
+                                     opts);
+          break;
+        case Solver::kPcgFused:
+          (void)sv::pcg_fused_dist<double>(op, sv::jacobi_dist(inv_diag), b,
+                                           x, opts);
+          break;
+        case Solver::kBicgstab:
+          (void)sv::bicgstab_dist<double>(op, b, x, opts);
+          break;
+        case Solver::kBicgstabFused:
+          (void)sv::bicgstab_fused_dist<double>(op, b, x, opts);
+          break;
+      }
+    });
+    return rt->stats(0).reductions;
+  };
+  const std::uint64_t at5 = run_iters(5);
+  const std::uint64_t at10 = run_iters(10);
+  return (at10 - at5) / 5;
+}
+
+TEST_P(FusedSolversTest, ReductionsPerIterationAreAsAdvertised) {
+  const int np = GetParam();
+  EXPECT_EQ(reductions_per_iteration(np, Solver::kCgFused), 1u);
+  EXPECT_EQ(reductions_per_iteration(np, Solver::kCg), 2u);
+  EXPECT_EQ(reductions_per_iteration(np, Solver::kPcgFused), 1u);
+  EXPECT_EQ(reductions_per_iteration(np, Solver::kPcg), 3u);
+  EXPECT_EQ(reductions_per_iteration(np, Solver::kBicgstabFused), 3u);
+  EXPECT_EQ(reductions_per_iteration(np, Solver::kBicgstab), 6u);
+}
+
+TEST_P(FusedSolversTest, FusedCgMovesFewerMessagesThanBaseline) {
+  const int np = GetParam();
+  if (np == 1) GTEST_SKIP() << "no communication on one processor";
+  const auto a = sp::laplacian_2d(6, 6);
+  const auto b_full = sp::random_rhs(a.n_rows(), 9);
+  const auto run_solver = [&](bool fused) {
+    auto rt = run_spmd(np, [&](Process& proc) {
+      auto dist = share(Distribution::block(a.n_rows(), proc.nprocs()));
+      auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+      DistributedVector<double> b(proc, dist), x(proc, dist);
+      b.from_global(b_full);
+      const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+        mat.matvec(p, q);
+      };
+      const sv::SolveOptions opts{.max_iterations = 20,
+                                  .rel_tolerance = 1e-30};
+      if (fused) {
+        (void)sv::cg_fused_dist<double>(op, b, x, opts);
+      } else {
+        (void)sv::cg_dist<double>(op, b, x, opts);
+      }
+    });
+    return rt->total_stats().messages_sent;
+  };
+  EXPECT_LT(run_solver(true), run_solver(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, FusedSolversTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace
