@@ -1,9 +1,13 @@
-// Experiment V1: the hpfcg::check layer must be a pure side channel — with
-// checking runtime-disabled the hooks cost one null-pointer branch, and
-// with checking enabled every instrumentation counter (messages, bytes,
-// flops, modeled times) must be bit-identical to the unchecked run, since
-// conformance state never travels through the simulated network.
-// Table: counters and wall time per NP, checking off vs on.
+// Experiment TR1: the hpfcg::trace layer must be a pure side channel — with
+// tracing runtime-disabled the hooks cost one null-pointer branch per site,
+// and with tracing enabled every Stats counter (messages, bytes, flops,
+// envelope paths, modeled times) must be bit-identical to the untraced run,
+// since spans never travel through the simulated network.
+// Table: counters and wall time per NP, tracing off vs on.
+//
+// The final WALL_US_TRACING_DISABLED line is machine-parseable: CI runs
+// this binary from a build with HPFCG_TRACE=ON and one with =OFF and gates
+// the compiled-in-but-disabled hooks at <5% wall overhead.
 
 #include <chrono>
 #include <iostream>
@@ -11,12 +15,12 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "hpfcg/check/check.hpp"
 #include "hpfcg/hpf/dist_vector.hpp"
 #include "hpfcg/hpf/intrinsics.hpp"
 #include "hpfcg/msg/process.hpp"
 #include "hpfcg/sparse/dist_csr.hpp"
 #include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/trace/trace.hpp"
 
 using hpfcg::hpf::Distribution;
 using hpfcg::hpf::DistributedVector;
@@ -29,12 +33,13 @@ struct Run {
   Stats total;
   double makespan = 0.0;
   double wall_us = 0.0;
+  std::uint64_t spans = 0;
 };
 
-/// A CG-shaped workload: repeated matvec + dot + axpy sweeps, the loop the
-/// verifier instruments most densely (collectives + shard accesses).
-Run measure(int np, bool check_on) {
-  hpfcg::check::ScopedEnable mode(check_on);
+/// The same CG-shaped workload as bench_check_overhead: repeated matvec +
+/// dot + axpy sweeps, the loop the tracer instruments most densely.
+Run measure(int np, bool trace_on) {
+  hpfcg::trace::ScopedEnable mode(trace_on);
   const std::size_t n = 2048;
   const int iters = 8;
   const auto t0 = std::chrono::steady_clock::now();
@@ -57,8 +62,8 @@ Run measure(int np, bool check_on) {
   Run r;
   r.total = rt->total_stats();
   r.makespan = rt->modeled_makespan();
-  r.wall_us =
-      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  r.wall_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  if (rt->tracer() != nullptr) r.spans = rt->tracer()->total_recorded();
   return r;
 }
 
@@ -71,8 +76,9 @@ bool counters_identical(const Stats& a, const Stats& b) {
          a.reductions == b.reductions &&
          a.reduction_values == b.reduction_values &&
          a.envelopes_inline == b.envelopes_inline &&
-         // The pooled/heap split is a scheduling-dependent diagnostic
-         // (recycle racing the next draw); only the sum is deterministic.
+         // The pooled/heap split depends on whether a recycled buffer beat
+         // the next large send back to the pool — scheduling, not
+         // semantics — so only the sum is required to match.
          a.envelopes_pooled + a.envelopes_heap ==
              b.envelopes_pooled + b.envelopes_heap &&
          a.modeled_comm_seconds == b.modeled_comm_seconds &&
@@ -84,36 +90,42 @@ bool counters_identical(const Stats& a, const Stats& b) {
 
 int main() {
   hpfcg::util::Table table(
-      "V1 — hpfcg::check overhead (CG-shaped sweep, n=2048, 8 iterations)",
-      {"NP", "mode", "msgs", "bytes", "flops", "modeled[us]", "wall[us]",
-       "counters identical?"});
+      "TR1 — hpfcg::trace overhead (CG-shaped sweep, n=2048, 8 iterations)",
+      {"NP", "mode", "msgs", "bytes", "flops", "spans", "modeled[us]",
+       "wall[us]", "counters identical?"});
   bool all_identical = true;
+  double disabled_wall_us = 0.0;
   for (const int np : hpfcg_bench::np_sweep()) {
     const Run off = measure(np, false);
     const Run on = measure(np, true);
     const bool same = counters_identical(off.total, on.total);
     all_identical = all_identical && same;
+    disabled_wall_us += off.wall_us;
     table.add_row({std::to_string(np), "off",
                    hpfcg::util::fmt_count(off.total.messages_sent),
                    hpfcg::util::fmt_count(off.total.bytes_sent),
                    hpfcg::util::fmt_count(off.total.flops),
+                   hpfcg::util::fmt_count(off.spans),
                    hpfcg::util::fmt(off.makespan * 1e6, 2),
                    hpfcg::util::fmt(off.wall_us, 0), "-"});
     table.add_row({std::to_string(np), "on",
                    hpfcg::util::fmt_count(on.total.messages_sent),
                    hpfcg::util::fmt_count(on.total.bytes_sent),
                    hpfcg::util::fmt_count(on.total.flops),
+                   hpfcg::util::fmt_count(on.spans),
                    hpfcg::util::fmt(on.makespan * 1e6, 2),
                    hpfcg::util::fmt(on.wall_us, 0), same ? "yes" : "NO"});
   }
   table.print(std::cout);
-  if (!hpfcg::check::kCompiled) {
-    std::cout << "\n(checking compiled out: both modes ran the bare "
-                 "runtime — the hooks cost literally nothing)\n";
+  if (!hpfcg::trace::kCompiled) {
+    std::cout << "\n(tracing compiled out: both modes ran the bare runtime "
+                 "— the hooks cost literally nothing)\n";
   }
   std::cout << "\nReading: every counter and modeled time matches between\n"
-               "the checked and unchecked runs — the verifier is a side\n"
-               "channel, not a participant.  Wall-clock overhead is the\n"
-               "ledger/registry bookkeeping only.\n";
+               "the traced and untraced runs — the tracer is a side channel,\n"
+               "not a participant.  The off-mode wall time is what a build\n"
+               "without the subsystem would measure, modulo one null-pointer\n"
+               "branch per hook site.\n";
+  std::cout << "\nWALL_US_TRACING_DISABLED " << disabled_wall_us << "\n";
   return all_identical ? 0 : 1;
 }

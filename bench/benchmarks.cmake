@@ -28,3 +28,6 @@ hpfcg_add_bench(bench_stencil)
 hpfcg_add_bench(bench_inspector)
 hpfcg_add_bench(bench_check_overhead)
 hpfcg_add_bench(bench_comm_avoiding)
+hpfcg_add_bench(bench_trace_overhead)
+hpfcg_add_bench(bench_model_fit)
+hpfcg_add_bench(bench_trace_cg)

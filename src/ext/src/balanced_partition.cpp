@@ -38,7 +38,10 @@ std::vector<std::size_t> greedy_nnz_cuts(
     const std::size_t target =
         (total - assigned + static_cast<std::size_t>(parts_left) - 1) /
         static_cast<std::size_t>(parts_left);
-    if (acc >= target) {
+    // target == 0 means all remaining weight (including acc) is zero: every
+    // empty row would otherwise satisfy `acc >= target` and burn one cut
+    // each, fragmenting an empty-row tail across processors.
+    if (target > 0 && acc >= target) {
       cuts.push_back(i + 1);
       assigned += acc;
       acc = 0;

@@ -18,6 +18,7 @@
 #include <span>
 
 #include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/trace/span.hpp"
 #include "hpfcg/util/span_math.hpp"
 
 namespace hpfcg::hpf {
@@ -37,6 +38,8 @@ void require_aligned(const DistributedVector<T>& a,
 template <class T>
 T dot_product(const DistributedVector<T>& x, const DistributedVector<T>& y) {
   detail::require_aligned(x, y, "dot_product");
+  trace::SpanScope span(x.proc().tracer_rank(), trace::SpanKind::kDot, 1,
+                        x.local().size() * sizeof(T));
   const T local = util::dot_local<T>(x.local(), y.local());
   x.proc().add_flops(2 * x.local().size());
   return x.proc().allreduce(local);
@@ -63,6 +66,10 @@ void dot_products(std::span<const DotPair<T>> pairs, std::span<T> out) {
   HPFCG_REQUIRE(pairs.size() == out.size(),
                 "dot_products: pairs/out size mismatch");
   if (pairs.empty()) return;
+  trace::SpanScope span(pairs[0].x->proc().tracer_rank(),
+                        trace::SpanKind::kDotBatch,
+                        static_cast<std::uint32_t>(pairs.size()),
+                        pairs[0].x->local().size() * sizeof(T));
   std::uint64_t flops = 0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const auto& x = *pairs[i].x;
@@ -192,6 +199,8 @@ ValueLoc<T> minloc(const DistributedVector<T>& x) {
 template <class T>
 void axpy(T alpha, const DistributedVector<T>& x, DistributedVector<T>& y) {
   detail::require_aligned(x, y, "axpy");
+  trace::SpanScope span(y.proc().tracer_rank(), trace::SpanKind::kAxpy, 0,
+                        y.local().size() * sizeof(T));
   y.proc().add_flops(util::axpy<T>(alpha, x.local(), y.local()));
 }
 
@@ -199,6 +208,8 @@ void axpy(T alpha, const DistributedVector<T>& x, DistributedVector<T>& y) {
 template <class T>
 void aypx(T alpha, const DistributedVector<T>& x, DistributedVector<T>& y) {
   detail::require_aligned(x, y, "aypx");
+  trace::SpanScope span(y.proc().tracer_rank(), trace::SpanKind::kAypx, 0,
+                        y.local().size() * sizeof(T));
   y.proc().add_flops(util::aypx<T>(alpha, x.local(), y.local()));
 }
 

@@ -39,12 +39,30 @@ inline constexpr int kAnySource = -1;
 
 /// Runtime toggles for the mailbox fast paths, so benchmarks can A/B the
 /// pooled/inline machinery against plain heap allocation in one binary.
-/// Both default to on; they affect wall-clock only — message semantics,
-/// Stats counters and modeled costs are bit-identical either way.
+/// Both default to on; message semantics, modeled costs, and every Stats
+/// counter except the envelope-path diagnostics (envelopes_inline/pooled/
+/// heap, which exist precisely to observe these toggles) are bit-identical
+/// either way.
 void set_buffer_pooling(bool on);
 [[nodiscard]] bool buffer_pooling();
 void set_inline_payloads(bool on);
 [[nodiscard]] bool inline_payloads();
+
+/// Bound on each mailbox's heap-buffer freelist.  Recycled buffers beyond
+/// the bound are freed; senders finding the pool empty fall back to a fresh
+/// tracked heap buffer (counted in Stats::envelopes_heap) — the fallback
+/// never blocks and never grows the pool.  Tests shrink this to force
+/// exhaustion; 0 disables pooling entirely.
+void set_max_pooled_buffers(std::size_t n);
+[[nodiscard]] std::size_t max_pooled_buffers();
+
+/// How an Envelope's payload ended up stored.  Mirrors (and numerically
+/// matches) trace::EnvelopePath so spans can carry it as their aux byte.
+enum class EnvelopePath : std::uint8_t {
+  kInline = 0,  ///< payload fit the in-envelope buffer
+  kPooled = 1,  ///< heap buffer drawn from the mailbox freelist
+  kHeap = 2,    ///< fresh heap buffer (pool empty/disabled) — tracked in Stats
+};
 
 /// One in-flight message.  Small payloads are stored inline; larger ones
 /// in a heap buffer that the owning Mailbox recycles through its freelist.
@@ -75,6 +93,9 @@ class Envelope {
   }
   [[nodiscard]] bool stored_inline() const { return stored_inline_; }
 
+  /// Storage path this envelope's payload took (for Stats and trace spans).
+  [[nodiscard]] EnvelopePath path() const { return path_; }
+
   // ---- freelist plumbing (used by Mailbox) ------------------------------
   /// Adopt a recycled heap buffer for a `bytes`-long payload.
   void adopt_heap(std::vector<std::byte>&& buf, std::size_t bytes);
@@ -86,6 +107,7 @@ class Envelope {
 
   std::size_t size_ = 0;
   bool stored_inline_ = true;
+  EnvelopePath path_ = EnvelopePath::kInline;
   std::uint64_t seq = 0;  ///< mailbox arrival stamp (any-source fairness)
   std::array<std::byte, kInlineCapacity> inline_;
   std::vector<std::byte> heap_;
@@ -150,10 +172,11 @@ class Mailbox {
 
   /// Freelist of heap payload buffers.  Its own mutex: senders draw from it
   /// while the receiver recycles, and neither should contend with matching.
+  /// The lock is only ever held for a pointer swap — allocation (adopting or
+  /// resizing a buffer) happens outside it, so an exhausted pool can never
+  /// stall another sender behind someone else's malloc.
   mutable std::mutex pool_mu_;
   std::vector<std::vector<std::byte>> pool_;
-  /// Freelist bound — beyond this, recycled buffers are simply freed.
-  static constexpr std::size_t kMaxPooledBuffers = 64;
 };
 
 }  // namespace hpfcg::msg

@@ -55,6 +55,11 @@ class PhaseProfile {
     d.flops = now.flops - then.flops;
     d.barriers = now.barriers - then.barriers;
     d.collectives = now.collectives - then.collectives;
+    d.reductions = now.reductions - then.reductions;
+    d.reduction_values = now.reduction_values - then.reduction_values;
+    d.envelopes_inline = now.envelopes_inline - then.envelopes_inline;
+    d.envelopes_pooled = now.envelopes_pooled - then.envelopes_pooled;
+    d.envelopes_heap = now.envelopes_heap - then.envelopes_heap;
     d.modeled_comm_seconds =
         now.modeled_comm_seconds - then.modeled_comm_seconds;
     d.modeled_compute_seconds =

@@ -14,6 +14,7 @@
 // per-rank maximum approximates the machine's critical path.
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -26,6 +27,7 @@
 #include "hpfcg/check/check.hpp"
 #include "hpfcg/check/harness.hpp"
 #include "hpfcg/msg/runtime.hpp"
+#include "hpfcg/trace/span.hpp"
 #include "hpfcg/util/error.hpp"
 
 namespace hpfcg::msg {
@@ -33,7 +35,10 @@ namespace hpfcg::msg {
 /// Handle to one simulated processor inside Runtime::run().
 class Process {
  public:
-  Process(Runtime& rt, int rank) : rt_(rt), rank_(rank) {}
+  Process(Runtime& rt, int rank)
+      : rt_(rt),
+        rank_(rank),
+        trace_(rt.tracer() != nullptr ? &rt.tracer()->rank(rank) : nullptr) {}
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -43,6 +48,36 @@ class Process {
   [[nodiscard]] const CostModel& cost() const { return rt_.cost(); }
   [[nodiscard]] Runtime& runtime() { return rt_; }
   [[nodiscard]] Stats& stats() { return rt_.stats_mutable(rank_); }
+
+  /// This rank's span ring, or nullptr when tracing is off.  Upper layers
+  /// (hpf intrinsics, solvers) hang their own SpanScopes off it.
+  [[nodiscard]] trace::RankTrace* tracer_rank() const { return trace_; }
+
+  /// Binomial-tree depth of the machine, ceil(log2 NP); stamped on every
+  /// collective span so the model fit knows how many start-ups a tree pass
+  /// paid without re-deriving it from NP.
+  [[nodiscard]] std::uint16_t tree_depth() const {
+    return static_cast<std::uint16_t>(
+        std::bit_width(static_cast<unsigned>(nprocs() - 1)));
+  }
+
+  /// Solver metrics channel: publish one per-iteration sample (residual plus
+  /// this rank's cumulative counters) to the trace ring.  No-op when tracing
+  /// is off; never mutates Stats either way.
+  void trace_iteration(std::uint64_t iteration, double residual) {
+    if (trace_ == nullptr) return;
+    const Stats& s = rt_.stats_mutable(rank_);
+    trace::IterationMetrics m;
+    m.t_ns = trace_->now_ns();
+    m.iteration = iteration;
+    m.residual = residual;
+    m.reductions = s.reductions;
+    m.reduction_values = s.reduction_values;
+    m.bytes_moved = s.bytes_sent + s.bytes_received;
+    m.messages = s.messages_sent + s.messages_received;
+    m.flops = s.flops;
+    trace_->note_iteration(m);
+  }
 
   /// Record `n` local floating-point operations in the cost model.
   void add_flops(std::uint64_t n) {
@@ -121,6 +156,8 @@ class Process {
   /// Synchronize all processors.
   void barrier() {
     conform(check::CollectiveKind::kBarrier, check::kNoRoot, 0, 0);
+    trace::SpanScope span(trace_, trace::SpanKind::kBarrier, 0, 0,
+                          tree_depth());
     auto& s = stats();
     ++s.barriers;
     s.modeled_comm_seconds += cost().barrier_time();
@@ -138,6 +175,9 @@ class Process {
     // the fingerprint pins it only on the root.
     conform(check::CollectiveKind::kBroadcast, root, sizeof(T),
             rank_ == root ? buf.size() : check::kUnknownCount);
+    trace::SpanScope span(trace_, trace::SpanKind::kBroadcast,
+                          static_cast<std::uint32_t>(root),
+                          buf.size() * sizeof(T), tree_depth());
     const int seq = next_collective();
     if (p == 1) return;
     std::size_t len = buf.size();
@@ -150,6 +190,7 @@ class Process {
         len = recv_value<std::size_t>(src, coll_tag(seq, 0));
         buf.resize(len);
         recv_into<T>(src, coll_tag(seq, 1), buf);
+        span.set_bytes(len * sizeof(T));
         break;
       }
       mask <<= 1;
@@ -171,6 +212,9 @@ class Process {
   void broadcast_into(int root, std::span<T> buf) {
     const int p = nprocs();
     conform(check::CollectiveKind::kBroadcast, root, sizeof(T), buf.size());
+    trace::SpanScope span(trace_, trace::SpanKind::kBroadcast,
+                          static_cast<std::uint32_t>(root), buf.size_bytes(),
+                          tree_depth());
     const int seq = next_collective();
     if (p == 1) return;
     const int vr = rel_rank(root);
@@ -204,6 +248,8 @@ class Process {
   T reduce(int root, T value, Op op = {}) {
     const int p = nprocs();
     conform(check::CollectiveKind::kReduce, root, sizeof(T), 1);
+    trace::SpanScope span(trace_, trace::SpanKind::kReduce, 1, sizeof(T),
+                          tree_depth());
     const int seq = next_collective();
     note_reduction(1);
     const int vr = rel_rank(root);
@@ -239,6 +285,9 @@ class Process {
     const int p = nprocs();
     conform(check::CollectiveKind::kAllreduceVec, check::kNoRoot, sizeof(T),
             buf.size());
+    trace::SpanScope span(trace_, trace::SpanKind::kAllreduceVec,
+                          static_cast<std::uint32_t>(buf.size()),
+                          buf.size() * sizeof(T), tree_depth());
     const int seq = next_collective();
     note_reduction(buf.size());
     if (p == 1) return;
@@ -290,13 +339,19 @@ class Process {
 
   /// Fused all-reduce of `vals.size()` independent scalars, element-wise
   /// under `op`, one message per tree edge.  All ranks must pass the same
-  /// batch width (enforced by the conformance ledger).  k = 0 conforms and
-  /// synchronizes like any collective, carrying zero-length payloads.
+  /// batch width (enforced by the conformance ledger).  k = 0 still posts
+  /// to the ledger — the machine-wide width agreement is checked — but is
+  /// otherwise a communication-free no-op: no messages, no collective or
+  /// reduction booked, Stats untouched.
   template <class T, class Op = std::plus<T>>
   void allreduce_batch(std::span<T> vals, Op op = {}) {
     const int p = nprocs();
     conform(check::CollectiveKind::kAllreduceBatch, check::kNoRoot, sizeof(T),
             vals.size());
+    if (vals.empty()) return;
+    trace::SpanScope span(trace_, trace::SpanKind::kAllreduceBatch,
+                          static_cast<std::uint32_t>(vals.size()),
+                          vals.size() * sizeof(T), tree_depth());
     const int seq = next_collective();
     note_reduction(vals.size());
     if (p == 1) return;
@@ -341,12 +396,17 @@ class Process {
   }
 
   /// Fused reduction of `vals.size()` scalars to `root` (valid only there),
-  /// element-wise under `op`, one message per tree edge.
+  /// element-wise under `op`, one message per tree edge.  Like
+  /// allreduce_batch, k = 0 conforms and then no-ops without touching Stats.
   template <class T, class Op = std::plus<T>>
   void reduce_batch(int root, std::span<T> vals, Op op = {}) {
     const int p = nprocs();
     conform(check::CollectiveKind::kReduceBatch, root, sizeof(T),
             vals.size());
+    if (vals.empty()) return;
+    trace::SpanScope span(trace_, trace::SpanKind::kReduceBatch,
+                          static_cast<std::uint32_t>(vals.size()),
+                          vals.size() * sizeof(T), tree_depth());
     const int seq = next_collective();
     note_reduction(vals.size());
     if (p == 1) return;
@@ -398,6 +458,9 @@ class Process {
     // Local block sizes legitimately differ; the global total must agree.
     conform(check::CollectiveKind::kAllgatherv, check::kNoRoot, sizeof(T),
             offset.back());
+    trace::SpanScope span(trace_, trace::SpanKind::kAllgatherv,
+                          static_cast<std::uint32_t>(offset.back()),
+                          offset.back() * sizeof(T), tree_depth());
     out.assign(offset.back(), T{});
     std::copy(local.begin(), local.end(),
               out.begin() + static_cast<std::ptrdiff_t>(
@@ -453,6 +516,9 @@ class Process {
       conform(check::CollectiveKind::kGatherv, root, sizeof(T),
               std::accumulate(counts.begin(), counts.end(), std::size_t{0}));
     }
+    trace::SpanScope span(trace_, trace::SpanKind::kGatherv,
+                          static_cast<std::uint32_t>(root),
+                          total_bytes<T>(counts), tree_depth());
     const int seq = next_collective();
     if (rank_ == root) {
       std::vector<std::size_t> offset(counts.size() + 1, 0);
@@ -485,6 +551,9 @@ class Process {
       conform(check::CollectiveKind::kScatterv, root, sizeof(T),
               std::accumulate(counts.begin(), counts.end(), std::size_t{0}));
     }
+    trace::SpanScope span(trace_, trace::SpanKind::kScatterv,
+                          static_cast<std::uint32_t>(root),
+                          total_bytes<T>(counts), tree_depth());
     const int seq = next_collective();
     std::vector<T> mine(counts[static_cast<std::size_t>(rank_)]);
     if (rank_ == root) {
@@ -519,6 +588,13 @@ class Process {
     // kind and element size are conformable.
     conform(check::CollectiveKind::kAlltoallv, check::kNoRoot, sizeof(T),
             check::kUnknownCount);
+    trace::SpanScope span(trace_, trace::SpanKind::kAlltoallv, 0, 0,
+                          tree_depth());
+    if (trace_ != nullptr) {
+      std::uint64_t b = 0;
+      for (const auto& blk : send_blocks) b += blk.size() * sizeof(T);
+      span.set_bytes(b);
+    }
     const int seq = next_collective();
     std::vector<std::vector<T>> recv_blocks(static_cast<std::size_t>(p));
     recv_blocks[static_cast<std::size_t>(rank_)] =
@@ -541,6 +617,8 @@ class Process {
     // Simple linear scan: rank r receives the prefix from r-1, forwards
     // prefix ⊕ value to r+1.  Cost O(P) start-ups; used only in setup paths.
     conform(check::CollectiveKind::kExscan, check::kNoRoot, sizeof(T), 1);
+    trace::SpanScope span(trace_, trace::SpanKind::kExscan, 1, sizeof(T),
+                          tree_depth());
     const int seq = next_collective();
     T prefix{};
     if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, coll_tag(seq, 0));
@@ -582,6 +660,8 @@ class Process {
   /// 0..r-1's time inside the chain.
   void sequential(const std::function<void()>& f) {
     conform(check::CollectiveKind::kSequential, check::kNoRoot, 0, 0);
+    trace::SpanScope span(trace_, trace::SpanKind::kSequential, 0, 0,
+                          tree_depth());
     const int seq = next_collective();
     if (rank_ > 0) {
       const double pred_clock =
@@ -615,6 +695,16 @@ class Process {
     std::array<T, kStackElems> stack_;
     std::vector<T> heap_;
   };
+
+  /// Total payload of a counts-described collective, computed only when a
+  /// span will carry it.
+  template <class T>
+  [[nodiscard]] std::uint64_t total_bytes(
+      const std::vector<std::size_t>& counts) const {
+    if (trace_ == nullptr) return 0;
+    return std::accumulate(counts.begin(), counts.end(), std::size_t{0}) *
+           sizeof(T);
+  }
 
   /// Book one reduction-class collective merging `values` scalars (the
   /// benchmark currency of the communication-avoiding variants).
@@ -655,6 +745,8 @@ class Process {
 
   void send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
     HPFCG_REQUIRE(dst >= 0 && dst < nprocs(), "send: bad destination rank");
+    trace::SpanScope span(trace_, trace::SpanKind::kSend,
+                          static_cast<std::uint32_t>(dst), bytes);
     // Draw the envelope from the destination's freelist: small payloads are
     // stored inline, larger ones reuse a recycled buffer when one exists.
     Envelope env = rt_.mailbox(dst).make_envelope(rank_, tag, bytes);
@@ -662,6 +754,12 @@ class Process {
     auto& s = stats();
     ++s.messages_sent;
     s.bytes_sent += bytes;
+    switch (env.path()) {
+      case EnvelopePath::kInline: ++s.envelopes_inline; break;
+      case EnvelopePath::kPooled: ++s.envelopes_pooled; break;
+      case EnvelopePath::kHeap: ++s.envelopes_heap; break;
+    }
+    span.set_aux(static_cast<std::uint8_t>(env.path()));
     if (dst != rank_) s.modeled_comm_seconds += cost().params().t_startup;
     rt_.mailbox(dst).deposit(std::move(env));
     check::Harness* h = rt_.checker();
@@ -669,6 +767,9 @@ class Process {
   }
 
   Envelope recv_bytes(int src, int tag, int* src_out = nullptr) {
+    trace::SpanScope span(trace_, trace::SpanKind::kRecv,
+                          src == kAnySource ? 0xFFFFFFFFu
+                                            : static_cast<std::uint32_t>(src));
     check::Harness* h = rt_.checker();
     if (h != nullptr) h->begin_wait(rank_, check::WaitKind::kRecv, src, tag);
     Envelope env = rt_.mailbox(rank_).receive(src, tag);
@@ -681,12 +782,16 @@ class Process {
           cost().hops(env.src, rank_) * cost().params().t_hop +
           static_cast<double>(env.size()) * cost().params().t_comm;
     }
+    span.set_peer(static_cast<std::uint32_t>(env.src));
+    span.set_bytes(env.size());
+    span.set_aux(static_cast<std::uint8_t>(env.path()));
     if (src_out != nullptr) *src_out = env.src;
     return env;
   }
 
   Runtime& rt_;
   int rank_;
+  trace::RankTrace* trace_;
   int coll_seq_ = 0;
   /// Conformance-relevant op count (collectives + barriers), advanced only
   /// while a check harness is attached; independent of the tag space.

@@ -22,6 +22,8 @@
 #include "hpfcg/msg/cost_model.hpp"
 #include "hpfcg/msg/mailbox.hpp"
 #include "hpfcg/msg/stats.hpp"
+#include "hpfcg/trace/session.hpp"
+#include "hpfcg/trace/trace.hpp"
 
 namespace hpfcg::msg {
 
@@ -78,6 +80,15 @@ class Runtime {
     return checker_.get();
   }
 
+  /// Trace session, or nullptr when tracing is off.  When the trace layer
+  /// is compiled out this folds to a constant nullptr, so every recording
+  /// site is dead code.  Like Stats, spans accumulate across run() calls;
+  /// read them only between runs (the thread join orders the reads).
+  [[nodiscard]] trace::Session* tracer() const {
+    if constexpr (!trace::kCompiled) return nullptr;
+    return tracer_.get();
+  }
+
  private:
   void audit_teardown() const;
 
@@ -86,6 +97,7 @@ class Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<Stats> stats_;
   std::unique_ptr<check::Harness> checker_;
+  std::unique_ptr<trace::Session> tracer_;
 
   /// True between run() entry and join; guards cross-rank Stats aggregation.
   std::atomic<bool> running_{false};

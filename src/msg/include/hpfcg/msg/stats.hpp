@@ -31,6 +31,19 @@ struct Stats {
   /// batching factor reduction_values / reductions is visible.
   std::uint64_t reduction_values = 0;
 
+  /// Envelope storage path per message sent: inline (≤64 B payload),
+  /// drawn from the destination mailbox's buffer pool, or the tracked
+  /// heap fallback when the bounded pool is exhausted (or pooling is
+  /// toggled off).  These diagnose the allocation machinery, so unlike
+  /// every other counter they legitimately move with the mailbox
+  /// fast-path toggles; message semantics and modeled costs do not.
+  /// The pooled/heap split additionally depends on thread scheduling
+  /// (whether a recycle beat the next draw back to the pool) — only
+  /// `envelopes_pooled + envelopes_heap` is deterministic per workload.
+  std::uint64_t envelopes_inline = 0;
+  std::uint64_t envelopes_pooled = 0;
+  std::uint64_t envelopes_heap = 0;
+
   double modeled_comm_seconds = 0.0;
   double modeled_compute_seconds = 0.0;
   /// Idle time spent waiting on serialized predecessors (Process::sequential
@@ -54,6 +67,9 @@ struct Stats {
     collectives += o.collectives;
     reductions += o.reductions;
     reduction_values += o.reduction_values;
+    envelopes_inline += o.envelopes_inline;
+    envelopes_pooled += o.envelopes_pooled;
+    envelopes_heap += o.envelopes_heap;
     modeled_comm_seconds += o.modeled_comm_seconds;
     modeled_compute_seconds += o.modeled_compute_seconds;
     modeled_wait_seconds += o.modeled_wait_seconds;

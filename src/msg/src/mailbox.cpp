@@ -10,6 +10,7 @@ namespace hpfcg::msg {
 namespace {
 std::atomic<bool> g_pooling{true};
 std::atomic<bool> g_inline{true};
+std::atomic<std::size_t> g_max_pooled{64};
 }  // namespace
 
 void set_buffer_pooling(bool on) {
@@ -20,6 +21,12 @@ void set_inline_payloads(bool on) {
   g_inline.store(on, std::memory_order_relaxed);
 }
 bool inline_payloads() { return g_inline.load(std::memory_order_relaxed); }
+void set_max_pooled_buffers(std::size_t n) {
+  g_max_pooled.store(n, std::memory_order_relaxed);
+}
+std::size_t max_pooled_buffers() {
+  return g_max_pooled.load(std::memory_order_relaxed);
+}
 
 // ---- Envelope -----------------------------------------------------------
 
@@ -27,9 +34,11 @@ void Envelope::resize_payload(std::size_t bytes) {
   size_ = bytes;
   if (bytes <= kInlineCapacity && inline_payloads()) {
     stored_inline_ = true;
+    path_ = EnvelopePath::kInline;
     return;
   }
   stored_inline_ = false;
+  path_ = EnvelopePath::kHeap;
   if (heap_.size() < bytes) heap_.resize(bytes);
 }
 
@@ -38,11 +47,13 @@ void Envelope::adopt_heap(std::vector<std::byte>&& buf, std::size_t bytes) {
   if (heap_.size() < bytes) heap_.resize(bytes);
   size_ = bytes;
   stored_inline_ = false;
+  path_ = EnvelopePath::kPooled;
 }
 
 std::vector<std::byte> Envelope::release_heap() {
   size_ = 0;
   stored_inline_ = true;
+  path_ = EnvelopePath::kInline;
   return std::move(heap_);
 }
 
@@ -60,14 +71,26 @@ Envelope Mailbox::make_envelope(int src, int tag, std::size_t bytes) {
     return env;
   }
   if (buffer_pooling()) {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    if (!pool_.empty()) {
-      std::vector<std::byte> buf = std::move(pool_.back());
-      pool_.pop_back();
+    std::vector<std::byte> buf;
+    bool drew = false;
+    {
+      // Lock only for the swap; a possible resize of the drawn buffer (and
+      // the fresh allocation on the exhausted path below) happens unlocked.
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (!pool_.empty()) {
+        buf = std::move(pool_.back());
+        pool_.pop_back();
+        drew = true;
+      }
+    }
+    if (drew) {
       env.adopt_heap(std::move(buf), bytes);
       return env;
     }
   }
+  // Pool exhausted (or pooling off): fall back to a fresh tracked heap
+  // buffer.  Bounded by construction — it is owned by this one envelope and
+  // recycle() frees it rather than growing the pool past its cap.
   env.resize_payload(bytes);
   return env;
 }
@@ -145,7 +168,7 @@ void Mailbox::recycle(Envelope&& env) {
   std::vector<std::byte> buf = env.release_heap();
   if (buf.capacity() == 0) return;
   std::lock_guard<std::mutex> lock(pool_mu_);
-  if (pool_.size() < kMaxPooledBuffers) pool_.push_back(std::move(buf));
+  if (pool_.size() < max_pooled_buffers()) pool_.push_back(std::move(buf));
 }
 
 std::size_t Mailbox::pending() const {

@@ -23,6 +23,9 @@ Runtime::Runtime(int nprocs, CostParams params, Topology topo)
   if (check::kCompiled && check::enabled()) {
     checker_ = std::make_unique<check::Harness>(nprocs);
   }
+  if (trace::kCompiled && trace::enabled()) {
+    tracer_ = std::make_unique<trace::Session>(nprocs, trace::ring_capacity());
+  }
 }
 
 void Runtime::run(const std::function<void(Process&)>& body) {

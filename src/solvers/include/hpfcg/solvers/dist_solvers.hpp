@@ -43,9 +43,21 @@ template <class T>
 using DistPrec = DistOp<T>;
 
 namespace detail {
-inline void dist_record(SolveResult& res, const SolveOptions& opts,
-                        double rnorm) {
+/// Record a residual evaluation: into the history (when tracked) and onto
+/// the solver's per-iteration trace metrics channel (when tracing).
+inline void dist_record(msg::Process& proc, SolveResult& res,
+                        const SolveOptions& opts, double rnorm) {
   if (opts.track_residuals) res.residual_history.push_back(rnorm);
+  proc.trace_iteration(res.iterations, rnorm);
+}
+
+/// Apply a distributed operator under a trace span (kMatvec / kPrecond).
+template <class T>
+void traced_apply(trace::RankTrace* trc, trace::SpanKind kind,
+                  const DistOp<T>& op, const hpf::DistributedVector<T>& in,
+                  hpf::DistributedVector<T>& out) {
+  trace::SpanScope span(trc, kind, 0, in.local().size() * sizeof(T));
+  op(in, out);
 }
 }  // namespace detail
 
@@ -56,6 +68,7 @@ SolveResult cg_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
                     hpf::DistributedVector<T>& x,
                     const SolveOptions& opts = {}) {
   SolveResult res;
+  trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
   const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
@@ -63,12 +76,13 @@ SolveResult cg_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
   auto p = hpf::DistributedVector<T>::aligned_like(b);
   auto q = hpf::DistributedVector<T>::aligned_like(b);
 
-  a(x, q);
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, x, q);
   hpf::assign(b, r);
   hpf::axpy<T>(T{-1}, q, r);  // r = b - A x0
   hpf::assign(r, p);
   T rho = hpf::dot_product(r, r);
-  detail::dist_record(res, opts, std::sqrt(static_cast<double>(rho)));
+  detail::dist_record(b.proc(), res, opts,
+                      std::sqrt(static_cast<double>(rho)));
   res.relative_residual =
       bnorm > 0.0 ? std::sqrt(static_cast<double>(rho)) / bnorm
                   : std::sqrt(static_cast<double>(rho));
@@ -78,7 +92,9 @@ SolveResult cg_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
   }
 
   for (std::size_t k = 0; k < opts.max_iterations; ++k) {
-    a(p, q);
+    trace::SpanScope iter_span(trc, trace::SpanKind::kIteration,
+                               static_cast<std::uint32_t>(k));
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, p, q);
     const T pq = hpf::dot_product(p, q);
     if (pq == T{}) {
       res.breakdown = true;
@@ -94,7 +110,7 @@ SolveResult cg_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
     const double rnorm = std::sqrt(static_cast<double>(rho_new));
     res.iterations = k + 1;
     res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-    detail::dist_record(res, opts, rnorm);
+    detail::dist_record(b.proc(), res, opts, rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       return res;
@@ -119,6 +135,7 @@ SolveResult cg_fused_dist(const DistOp<T>& a,
                           hpf::DistributedVector<T>& x,
                           const SolveOptions& opts = {}) {
   SolveResult res;
+  trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
   const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
@@ -127,16 +144,17 @@ SolveResult cg_fused_dist(const DistOp<T>& a,
   auto p = hpf::DistributedVector<T>::aligned_like(b);
   auto s = hpf::DistributedVector<T>::aligned_like(b);
 
-  a(x, w);  // scratch: w = A x0
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, x, w);  // w = A x0
   hpf::assign(b, r);
   hpf::axpy<T>(T{-1}, w, r);  // r = b - A x0
-  a(r, w);                    // extra start-up matvec: w = A r
+  // Extra start-up matvec: w = A r.
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, r, w);
   const auto d0 = hpf::dot_products(r, r, w, r);  // {gamma, delta}, 1 merge
   T gamma = d0[0];
   T delta = d0[1];
   const double rnorm0 = std::sqrt(static_cast<double>(gamma));
   res.relative_residual = bnorm > 0.0 ? rnorm0 / bnorm : rnorm0;
-  detail::dist_record(res, opts, rnorm0);
+  detail::dist_record(b.proc(), res, opts, rnorm0);
   if (rnorm0 <= stop) {
     res.converged = true;
     return res;
@@ -150,9 +168,12 @@ SolveResult cg_fused_dist(const DistOp<T>& a,
   hpf::assign(w, s);
 
   for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    trace::SpanScope iter_span(trc, trace::SpanKind::kIteration,
+                               static_cast<std::uint32_t>(k));
     hpf::axpy<T>(alpha, p, x);   // x = x + alpha p
     hpf::axpy<T>(-alpha, s, r);  // r = r - alpha s   (s = A p by recurrence)
-    a(r, w);                     // the iteration's only matvec
+    // The iteration's only matvec.
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, r, w);
     // The iteration's only reduction: {(r,r), (w,r)} in one tree walk.
     const auto d = hpf::dot_products(r, r, w, r);
     const T gamma_new = d[0];
@@ -160,7 +181,7 @@ SolveResult cg_fused_dist(const DistOp<T>& a,
     const double rnorm = std::sqrt(static_cast<double>(gamma_new));
     res.iterations = k + 1;
     res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-    detail::dist_record(res, opts, rnorm);
+    detail::dist_record(b.proc(), res, opts, rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       return res;
@@ -186,6 +207,7 @@ SolveResult pcg_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
                      hpf::DistributedVector<T>& x,
                      const SolveOptions& opts = {}) {
   SolveResult res;
+  trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
   const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
@@ -194,22 +216,24 @@ SolveResult pcg_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
   auto p = hpf::DistributedVector<T>::aligned_like(b);
   auto q = hpf::DistributedVector<T>::aligned_like(b);
 
-  a(x, q);
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, x, q);
   hpf::assign(b, r);
   hpf::axpy<T>(T{-1}, q, r);
   double rnorm = std::sqrt(static_cast<double>(hpf::dot_product(r, r)));
   res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-  detail::dist_record(res, opts, rnorm);
+  detail::dist_record(b.proc(), res, opts, rnorm);
   if (rnorm <= stop) {
     res.converged = true;
     return res;
   }
-  m_inv(r, z);
+  detail::traced_apply(trc, trace::SpanKind::kPrecond, m_inv, r, z);
   hpf::assign(z, p);
   T rho = hpf::dot_product(r, z);
 
   for (std::size_t k = 0; k < opts.max_iterations; ++k) {
-    a(p, q);
+    trace::SpanScope iter_span(trc, trace::SpanKind::kIteration,
+                               static_cast<std::uint32_t>(k));
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, p, q);
     const T pq = hpf::dot_product(p, q);
     if (pq == T{} || rho == T{}) {
       res.breakdown = true;
@@ -221,12 +245,12 @@ SolveResult pcg_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
     rnorm = std::sqrt(static_cast<double>(hpf::dot_product(r, r)));
     res.iterations = k + 1;
     res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-    detail::dist_record(res, opts, rnorm);
+    detail::dist_record(b.proc(), res, opts, rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       return res;
     }
-    m_inv(r, z);
+    detail::traced_apply(trc, trace::SpanKind::kPrecond, m_inv, r, z);
     const T rho_new = hpf::dot_product(r, z);
     const T beta = rho_new / rho;
     hpf::aypx<T>(beta, z, p);
@@ -245,6 +269,7 @@ SolveResult pcg_fused_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
                            hpf::DistributedVector<T>& x,
                            const SolveOptions& opts = {}) {
   SolveResult res;
+  trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
   const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
@@ -254,17 +279,17 @@ SolveResult pcg_fused_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
   auto p = hpf::DistributedVector<T>::aligned_like(b);
   auto s = hpf::DistributedVector<T>::aligned_like(b);
 
-  a(x, w);
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, x, w);
   hpf::assign(b, r);
   hpf::axpy<T>(T{-1}, w, r);
-  m_inv(r, u);
-  a(u, w);
+  detail::traced_apply(trc, trace::SpanKind::kPrecond, m_inv, r, u);
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, u, w);
   const auto d0 = hpf::dot_products(r, u, w, u, r, r);  // one 3-wide merge
   T gamma = d0[0];
   T delta = d0[1];
   const double rnorm0 = std::sqrt(static_cast<double>(d0[2]));
   res.relative_residual = bnorm > 0.0 ? rnorm0 / bnorm : rnorm0;
-  detail::dist_record(res, opts, rnorm0);
+  detail::dist_record(b.proc(), res, opts, rnorm0);
   if (rnorm0 <= stop) {
     res.converged = true;
     return res;
@@ -278,10 +303,12 @@ SolveResult pcg_fused_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
   hpf::assign(w, s);
 
   for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    trace::SpanScope iter_span(trc, trace::SpanKind::kIteration,
+                               static_cast<std::uint32_t>(k));
     hpf::axpy<T>(alpha, p, x);
     hpf::axpy<T>(-alpha, s, r);  // s = A p by recurrence
-    m_inv(r, u);
-    a(u, w);
+    detail::traced_apply(trc, trace::SpanKind::kPrecond, m_inv, r, u);
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, u, w);
     // The iteration's only reduction: beta/alpha numerators + convergence.
     const auto d = hpf::dot_products(r, u, w, u, r, r);
     const T gamma_new = d[0];
@@ -289,7 +316,7 @@ SolveResult pcg_fused_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
     const double rnorm = std::sqrt(static_cast<double>(d[2]));
     res.iterations = k + 1;
     res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-    detail::dist_record(res, opts, rnorm);
+    detail::dist_record(b.proc(), res, opts, rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       return res;
@@ -319,6 +346,7 @@ SolveResult bicg_dist(const DistOp<T>& a, const DistOp<T>& a_transpose,
                       hpf::DistributedVector<T>& x,
                       const SolveOptions& opts = {}) {
   SolveResult res;
+  trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
   const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
@@ -329,7 +357,7 @@ SolveResult bicg_dist(const DistOp<T>& a, const DistOp<T>& a_transpose,
   auto q = hpf::DistributedVector<T>::aligned_like(b);
   auto qt = hpf::DistributedVector<T>::aligned_like(b);
 
-  a(x, q);
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, x, q);
   hpf::assign(b, r);
   hpf::axpy<T>(T{-1}, q, r);
   hpf::assign(r, rt);
@@ -338,19 +366,21 @@ SolveResult bicg_dist(const DistOp<T>& a, const DistOp<T>& a_transpose,
   T rho = hpf::dot_product(rt, r);
   double rnorm = std::sqrt(static_cast<double>(hpf::dot_product(r, r)));
   res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-  detail::dist_record(res, opts, rnorm);
+  detail::dist_record(b.proc(), res, opts, rnorm);
   if (rnorm <= stop) {
     res.converged = true;
     return res;
   }
 
   for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    trace::SpanScope iter_span(trc, trace::SpanKind::kIteration,
+                               static_cast<std::uint32_t>(k));
     if (rho == T{}) {
       res.breakdown = true;
       break;
     }
-    a(p, q);
-    a_transpose(pt, qt);
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, p, q);
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a_transpose, pt, qt);
     const T ptq = hpf::dot_product(pt, q);
     if (ptq == T{}) {
       res.breakdown = true;
@@ -363,7 +393,7 @@ SolveResult bicg_dist(const DistOp<T>& a, const DistOp<T>& a_transpose,
     rnorm = std::sqrt(static_cast<double>(hpf::dot_product(r, r)));
     res.iterations = k + 1;
     res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-    detail::dist_record(res, opts, rnorm);
+    detail::dist_record(b.proc(), res, opts, rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       return res;
@@ -384,6 +414,7 @@ SolveResult bicgstab_dist(const DistOp<T>& a,
                           hpf::DistributedVector<T>& x,
                           const SolveOptions& opts = {}) {
   SolveResult res;
+  trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
   const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
@@ -394,13 +425,13 @@ SolveResult bicgstab_dist(const DistOp<T>& a,
   auto s = hpf::DistributedVector<T>::aligned_like(b);
   auto t = hpf::DistributedVector<T>::aligned_like(b);
 
-  a(x, t);
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, x, t);
   hpf::assign(b, r);
   hpf::axpy<T>(T{-1}, t, r);
   hpf::assign(r, rt);
   double rnorm = std::sqrt(static_cast<double>(hpf::dot_product(r, r)));
   res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-  detail::dist_record(res, opts, rnorm);
+  detail::dist_record(b.proc(), res, opts, rnorm);
   if (rnorm <= stop) {
     res.converged = true;
     return res;
@@ -408,6 +439,8 @@ SolveResult bicgstab_dist(const DistOp<T>& a,
 
   T rho_old{1}, alpha{1}, omega{1};
   for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    trace::SpanScope iter_span(trc, trace::SpanKind::kIteration,
+                               static_cast<std::uint32_t>(k));
     const T rho = hpf::dot_product(rt, r);
     if (rho == T{} || omega == T{}) {
       res.breakdown = true;
@@ -421,7 +454,7 @@ SolveResult bicgstab_dist(const DistOp<T>& a,
       hpf::axpy<T>(-omega, v, p);
       hpf::aypx<T>(beta, r, p);
     }
-    a(p, v);
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, p, v);
     const T rtv = hpf::dot_product(rt, v);
     if (rtv == T{}) {
       res.breakdown = true;
@@ -436,11 +469,11 @@ SolveResult bicgstab_dist(const DistOp<T>& a,
       hpf::axpy<T>(alpha, p, x);
       res.iterations = k + 1;
       res.relative_residual = bnorm > 0.0 ? snorm / bnorm : snorm;
-      detail::dist_record(res, opts, snorm);
+      detail::dist_record(b.proc(), res, opts, snorm);
       res.converged = true;
       return res;
     }
-    a(s, t);
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, s, t);
     const T ts = hpf::dot_product(t, s);
     const T tt = hpf::dot_product(t, t);
     if (tt == T{}) {
@@ -455,7 +488,7 @@ SolveResult bicgstab_dist(const DistOp<T>& a,
     rnorm = std::sqrt(static_cast<double>(hpf::dot_product(r, r)));
     res.iterations = k + 1;
     res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-    detail::dist_record(res, opts, rnorm);
+    detail::dist_record(b.proc(), res, opts, rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       return res;
@@ -478,6 +511,7 @@ SolveResult bicgstab_fused_dist(const DistOp<T>& a,
                                 hpf::DistributedVector<T>& x,
                                 const SolveOptions& opts = {}) {
   SolveResult res;
+  trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
   const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
@@ -488,7 +522,7 @@ SolveResult bicgstab_fused_dist(const DistOp<T>& a,
   auto s = hpf::DistributedVector<T>::aligned_like(b);
   auto t = hpf::DistributedVector<T>::aligned_like(b);
 
-  a(x, t);
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, x, t);
   hpf::assign(b, r);
   hpf::axpy<T>(T{-1}, t, r);
   hpf::assign(r, rt);
@@ -497,7 +531,7 @@ SolveResult bicgstab_fused_dist(const DistOp<T>& a,
   const double rnorm0 = std::sqrt(static_cast<double>(d0[0]));
   T rho = d0[1];
   res.relative_residual = bnorm > 0.0 ? rnorm0 / bnorm : rnorm0;
-  detail::dist_record(res, opts, rnorm0);
+  detail::dist_record(b.proc(), res, opts, rnorm0);
   if (rnorm0 <= stop) {
     res.converged = true;
     return res;
@@ -505,6 +539,8 @@ SolveResult bicgstab_fused_dist(const DistOp<T>& a,
 
   T rho_old{1}, alpha{1}, omega{1};
   for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    trace::SpanScope iter_span(trc, trace::SpanKind::kIteration,
+                               static_cast<std::uint32_t>(k));
     if (rho == T{} || omega == T{}) {
       res.breakdown = true;
       break;
@@ -516,7 +552,7 @@ SolveResult bicgstab_fused_dist(const DistOp<T>& a,
       hpf::axpy<T>(-omega, v, p);
       hpf::aypx<T>(beta, r, p);  // p = r + beta (p - omega v)
     }
-    a(p, v);
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, p, v);
     const T rtv = hpf::dot_product(rt, v);  // merge point 1 (width 1)
     if (rtv == T{}) {
       res.breakdown = true;
@@ -525,7 +561,8 @@ SolveResult bicgstab_fused_dist(const DistOp<T>& a,
     alpha = rho / rtv;
     hpf::assign(r, s);
     hpf::axpy<T>(-alpha, v, s);
-    a(s, t);  // unconditional: the s-norm check rides the next merge
+    // Unconditional: the s-norm check rides the next merge.
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, s, t);
     // Merge point 2 (width 3): omega numerator/denominator + s-norm.
     const auto d2 = hpf::dot_products(t, s, t, t, s, s);
     const T ts = d2[0];
@@ -535,7 +572,7 @@ SolveResult bicgstab_fused_dist(const DistOp<T>& a,
       hpf::axpy<T>(alpha, p, x);
       res.iterations = k + 1;
       res.relative_residual = bnorm > 0.0 ? snorm / bnorm : snorm;
-      detail::dist_record(res, opts, snorm);
+      detail::dist_record(b.proc(), res, opts, snorm);
       res.converged = true;
       return res;
     }
@@ -553,7 +590,7 @@ SolveResult bicgstab_fused_dist(const DistOp<T>& a,
     const double rnorm = std::sqrt(static_cast<double>(d3[0]));
     res.iterations = k + 1;
     res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-    detail::dist_record(res, opts, rnorm);
+    detail::dist_record(b.proc(), res, opts, rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       return res;
@@ -573,6 +610,7 @@ SolveResult cgs_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
                      hpf::DistributedVector<T>& x,
                      const SolveOptions& opts = {}) {
   SolveResult res;
+  trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
   const double stop = opts.rel_tolerance * (bnorm > 0.0 ? bnorm : 1.0);
 
@@ -585,13 +623,13 @@ SolveResult cgs_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
   auto uq = hpf::DistributedVector<T>::aligned_like(b);
   auto t = hpf::DistributedVector<T>::aligned_like(b);
 
-  a(x, t);
+  detail::traced_apply(trc, trace::SpanKind::kMatvec, a, x, t);
   hpf::assign(b, r);
   hpf::axpy<T>(T{-1}, t, r);
   hpf::assign(r, rt);
   double rnorm = std::sqrt(static_cast<double>(hpf::dot_product(r, r)));
   res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-  detail::dist_record(res, opts, rnorm);
+  detail::dist_record(b.proc(), res, opts, rnorm);
   if (rnorm <= stop) {
     res.converged = true;
     return res;
@@ -599,6 +637,8 @@ SolveResult cgs_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
 
   T rho_old{1};
   for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    trace::SpanScope iter_span(trc, trace::SpanKind::kIteration,
+                               static_cast<std::uint32_t>(k));
     const T rho = hpf::dot_product(rt, r);
     if (rho == T{}) {
       res.breakdown = true;
@@ -619,7 +659,7 @@ SolveResult cgs_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
       hpf::scale<T>(beta, p);
       hpf::axpy<T>(T{1}, u, p);
     }
-    a(p, vhat);
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, p, vhat);
     const T sigma = hpf::dot_product(rt, vhat);
     if (sigma == T{}) {
       res.breakdown = true;
@@ -632,12 +672,12 @@ SolveResult cgs_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
     hpf::assign(u, uq);
     hpf::axpy<T>(T{1}, q, uq);
     hpf::axpy<T>(alpha, uq, x);
-    a(uq, t);
+    detail::traced_apply(trc, trace::SpanKind::kMatvec, a, uq, t);
     hpf::axpy<T>(-alpha, t, r);
     rnorm = std::sqrt(static_cast<double>(hpf::dot_product(r, r)));
     res.iterations = k + 1;
     res.relative_residual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-    detail::dist_record(res, opts, rnorm);
+    detail::dist_record(b.proc(), res, opts, rnorm);
     if (rnorm <= stop) {
       res.converged = true;
       return res;

@@ -1,0 +1,26 @@
+#pragma once
+// Chrome-trace / Perfetto JSON exporter.
+//
+// Emits the Trace Event Format (the JSON Chrome's about:tracing and
+// https://ui.perfetto.dev load directly): one *process* per simulated
+// rank, two *threads* inside it — a communication lane (sends, receives,
+// collectives) and a compute lane (intrinsic and solver phases) — plus
+// counter tracks derived from the solver metrics channel (residual,
+// cumulative merges, bytes moved), so the paper's "reduction tree vs
+// SAXPY" cost split is visible on a real timeline.
+
+#include <iosfwd>
+#include <string>
+
+#include "hpfcg/trace/session.hpp"
+
+namespace hpfcg::trace {
+
+/// Write the whole session as Chrome-trace JSON ("traceEvents" array
+/// form).  Durations are microseconds (the format's native unit).
+void write_chrome_trace(std::ostream& os, const Session& session);
+
+/// Convenience: the same JSON as a string (tests, small traces).
+[[nodiscard]] std::string chrome_trace_json(const Session& session);
+
+}  // namespace hpfcg::trace

@@ -1,0 +1,70 @@
+#pragma once
+// Least-squares recovery of the paper's machine parameters from traced
+// collectives — the model-vs-measured half of hpfcg::trace.
+//
+// The paper's reduction-tree cost is `t_startup · d + t_comm · bytes` per
+// tree pass (d = ceil(log2 N_P)).  Every traced tree collective gives one
+// observation: the measured wall duration of the span against the number
+// of tree edges on the measuring rank's critical path and the bytes that
+// crossed them.  Fitting
+//
+//     T  =  t_fixed  +  t_startup · startups  +  t_comm · bytes
+//
+// over spans from machines of different sizes and batch widths identifies
+// all three terms: t_fixed absorbs the per-call overhead the closed form
+// omits, t_startup is the simulation's real per-message start-up latency,
+// and t_comm its real per-byte cost.  bench_model_fit prints fitted vs
+// CostModel-default values per term and gates on the fitted curve
+// reproducing the measured times (EXPERIMENTS.md §TR).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hpfcg/trace/span.hpp"
+
+namespace hpfcg::trace {
+
+/// One observation for the regression.
+struct FitSample {
+  double startups = 0.0;  ///< tree edges on the measured rank's path
+  double bytes = 0.0;     ///< payload bytes crossing those edges
+  double seconds = 0.0;   ///< measured wall duration
+};
+
+/// Fitted machine parameters (all seconds; t_comm seconds per byte).
+struct ModelFit {
+  double t_fixed = 0.0;
+  double t_startup = 0.0;
+  double t_comm = 0.0;
+  double rms_residual = 0.0;  ///< root-mean-square fit error, seconds
+  bool ok = false;            ///< false when the system was singular
+
+  [[nodiscard]] double predict(double startups, double bytes) const {
+    return t_fixed + t_startup * startups + t_comm * bytes;
+  }
+};
+
+/// Ordinary least squares for the 3-term model above (2-term when
+/// `with_intercept` is false).  Degenerate designs (fewer than 3
+/// independent samples, collinear predictors) return ok = false.
+/// With `relative` set, each sample is weighted by 1/seconds so the fit
+/// minimizes RELATIVE residuals — the right objective when observations
+/// span orders of magnitude (a 2-rank tree costs microseconds, an 8-rank
+/// one tens of them) and the acceptance metric is percent error;
+/// rms_residual is then the root-mean-square relative error.
+[[nodiscard]] ModelFit fit_cost_model(std::span<const FitSample> samples,
+                                      bool with_intercept = true,
+                                      bool relative = false);
+
+/// Extract fit samples from one rank's ring: every tree-collective span
+/// becomes an observation, with startups/bytes derived from the span's
+/// recorded tree depth and payload width (an allreduce-class span walks
+/// the tree twice, a reduce/broadcast-class span once).  Root-rank traces
+/// are the cleanest source: rank 0 sits on every tree's critical path for
+/// both the reduce and the broadcast pass, so mixing traces from machines
+/// of different sizes is safe and is exactly what identifies t_startup.
+[[nodiscard]] std::vector<FitSample> tree_collective_samples(
+    const RankTrace& trace);
+
+}  // namespace hpfcg::trace

@@ -1,0 +1,54 @@
+#pragma once
+// Per-machine trace session: one RankTrace per simulated processor, all
+// sharing one clock origin so spans from different ranks line up on one
+// timeline.  A msg::Runtime owns at most one Session for its lifetime
+// (created at construction when tracing is enabled, like check::Harness);
+// statistics accumulate across run() calls until clear().
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/trace/span.hpp"
+
+namespace hpfcg::trace {
+
+class Session {
+ public:
+  /// `nprocs` rings of `span_capacity` spans each, preallocated here —
+  /// nothing on the recording path allocates after this.
+  Session(int nprocs, std::size_t span_capacity);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] int nprocs() const { return static_cast<int>(ranks_.size()); }
+
+  [[nodiscard]] RankTrace& rank(int r) { return *ranks_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] const RankTrace& rank(int r) const {
+    return *ranks_[static_cast<std::size_t>(r)];
+  }
+
+  /// Nanoseconds since the session origin (same clock every rank stamps).
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+  /// Total spans recorded / dropped across all ranks.
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// Forget all recorded spans and metrics (between benchmark phases).
+  void clear();
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  // unique_ptr per rank so ring storage never moves once handed to a rank.
+  std::vector<std::unique_ptr<RankTrace>> ranks_;
+};
+
+}  // namespace hpfcg::trace

@@ -100,6 +100,98 @@ TEST(BalancedPartition, MorePartsThanAtomsYieldsEmptyParts) {
   EXPECT_EQ(bottleneck(w, cuts), 4u);
 }
 
+TEST(BalancedPartition, GreedyKeepsEmptyRowTailTogether) {
+  // Regression: once the remaining weight hits zero the per-part target is
+  // zero too, and every empty row used to satisfy `acc >= target` — one cut
+  // per empty row, fragmenting an all-empty tail across processors.  The
+  // whole tail must instead stay with the next part, leaving the remaining
+  // parts empty.
+  const std::vector<std::size_t> w = {6, 0, 0, 0, 0};
+  const auto cuts = greedy_nnz_cuts(w, 4);
+  EXPECT_EQ(cuts, (std::vector<std::size_t>{0, 1, 5, 5, 5}));
+
+  // Same shape with more parts than rows after the weighted prefix.
+  const std::vector<std::size_t> w2 = {3, 0, 0, 0, 0, 0};
+  EXPECT_EQ(greedy_nnz_cuts(w2, 3), (std::vector<std::size_t>{0, 1, 6, 6}));
+
+  // All-zero input degenerates the same way: everything in part 0.
+  const std::vector<std::size_t> zeros(7, 0);
+  const auto zcuts = greedy_nnz_cuts(zeros, 4);
+  EXPECT_EQ(zcuts, (std::vector<std::size_t>{0, 7, 7, 7, 7}));
+  EXPECT_EQ(bottleneck(zeros, zcuts), 0u);
+
+  // Interior zero runs (weight still to come) are unaffected by the fix:
+  // the target stays positive, so cuts still land inside the run.
+  const std::vector<std::size_t> w3 = {4, 0, 0, 0, 4};
+  const auto c3 = greedy_nnz_cuts(w3, 2);
+  EXPECT_EQ(bottleneck(w3, c3), 4u);
+}
+
+TEST(BalancedPartition, OptimalBottleneckEqualsBinarySearchedCap) {
+  // Property test: for random weights and every NP in 1..8, the emitted
+  // cuts are well formed and their bottleneck equals the smallest cap for
+  // which a <= NP-part contiguous cover exists (the binary search's answer
+  // is tight in both directions).
+  const auto min_feasible_cap = [](const std::vector<std::size_t>& w,
+                                   int np) {
+    const auto feasible = [&](std::size_t cap) {
+      int parts = 1;
+      std::size_t acc = 0;
+      for (const std::size_t x : w) {
+        if (x > cap) return false;
+        if (acc + x > cap) {
+          if (++parts > np) return false;
+          acc = x;
+        } else {
+          acc += x;
+        }
+      }
+      return true;
+    };
+    std::size_t lo = 0, hi = 0;
+    for (const std::size_t x : w) {
+      lo = std::max(lo, x);
+      hi += x;
+    }
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (feasible(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+
+  hpfcg::util::Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.below(60);
+    std::vector<std::size_t> w(n);
+    for (auto& x : w) x = rng.below(50);
+    for (int np = 1; np <= 8; ++np) {
+      const auto cuts = optimal_nnz_cuts(w, np);
+      ASSERT_EQ(cuts.size(), static_cast<std::size_t>(np) + 1);
+      EXPECT_EQ(cuts.front(), 0u);
+      EXPECT_EQ(cuts.back(), n);
+      EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+      EXPECT_EQ(bottleneck(w, cuts), min_feasible_cap(w, np))
+          << "trial " << trial << " n=" << n << " np=" << np;
+    }
+  }
+
+  // Degenerate corners the random sweep may miss.
+  for (int np = 1; np <= 8; ++np) {
+    const std::vector<std::size_t> zeros(5, 0);
+    EXPECT_EQ(bottleneck(zeros, optimal_nnz_cuts(zeros, np)), 0u);
+    // One heavy row dominates: the optimum is exactly that row's weight.
+    std::vector<std::size_t> heavy(9, 1);
+    heavy[4] = 1000;
+    EXPECT_EQ(bottleneck(heavy, optimal_nnz_cuts(heavy, np)),
+              np == 1 ? 1008u : 1000u + (np == 2 ? 4u : 0u));
+  }
+}
+
 TEST(BalancedPartition, BalancedBeatsUniformOnPowerlaw) {
   // The Section 5.2.2 claim: with irregular sparsity, the load-balancing
   // partitioner evens out the nonzeros that uniform atom blocks cannot.

@@ -87,7 +87,7 @@ TEST_P(FusedIntrinsicsTest, SpanFormHandlesArbitraryWidth) {
 
 TEST_P(FusedIntrinsicsTest, WidthZeroIsCommunicationFreeNoOp) {
   const int np = GetParam();
-  auto rt = run_spmd(np, [](Process& proc) {
+  auto rt = run_spmd(np, [](Process&) {
     std::span<const DotPair<double>> pairs;
     std::span<double> out;
     hpfcg::hpf::dot_products<double>(pairs, out);  // documented no-op

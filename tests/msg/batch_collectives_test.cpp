@@ -9,9 +9,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "hpfcg/check/check.hpp"
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/intrinsics.hpp"
 #include "hpfcg/msg/process.hpp"
 #include "spmd_test_util.hpp"
 
@@ -132,7 +136,9 @@ TEST_P(BatchCollectivesTest, BatchPaysOneTreeOfMessages) {
     return rt->total_stats().messages_sent;
   };
   EXPECT_EQ(count_messages(true), one_scalar());
-  if (np > 1) EXPECT_EQ(count_messages(false), k * one_scalar());
+  if (np > 1) {
+    EXPECT_EQ(count_messages(false), k * one_scalar());
+  }
 }
 
 TEST_P(BatchCollectivesTest, ReductionCountersTrackBatchWidth) {
@@ -148,6 +154,74 @@ TEST_P(BatchCollectivesTest, ReductionCountersTrackBatchWidth) {
     EXPECT_EQ(rt->stats(r).reductions, 3u);
     EXPECT_EQ(rt->stats(r).reduction_values, 6u);
   }
+}
+
+TEST_P(BatchCollectivesTest, WidthZeroIsCommunicationFree) {
+  // Regression: a width-0 batch used to book a collective and walk the
+  // coll_tag sequence.  It must now be a pure no-op: no messages, no
+  // collective, no reduction booked — every Stats counter stays exactly
+  // where it was.
+  const int np = GetParam();
+  auto rt = run_spmd(np, [](Process& p) {
+    const hpfcg::msg::Stats before = p.stats();
+    std::vector<double> empty;
+    p.allreduce_batch<double>(empty);
+    p.reduce_batch<double>(0, empty);
+    const hpfcg::msg::Stats& after = p.stats();
+    EXPECT_EQ(after.messages_sent, before.messages_sent);
+    EXPECT_EQ(after.messages_received, before.messages_received);
+    EXPECT_EQ(after.bytes_sent, before.bytes_sent);
+    EXPECT_EQ(after.collectives, before.collectives);
+    EXPECT_EQ(after.reductions, before.reductions);
+    EXPECT_EQ(after.reduction_values, before.reduction_values);
+    EXPECT_EQ(after.modeled_comm_seconds, before.modeled_comm_seconds);
+  });
+  EXPECT_EQ(rt->total_stats().reductions, 0u);
+}
+
+TEST_P(BatchCollectivesTest, WidthZeroAgreesUnderConformanceChecking) {
+  // The empty form must not trip the HPFCG_CHECK ledger even when other
+  // collectives surround it — all ranks skip it symmetrically, so the tag
+  // sequence stays aligned machine-wide.
+  if (!hpfcg::check::kCompiled) GTEST_SKIP() << "check compiled out";
+  hpfcg::check::ScopedEnable guard(true);
+  const int np = GetParam();
+  run_spmd(np, [](Process& p) {
+    (void)p.allreduce(1.0);
+    std::vector<double> empty;
+    p.allreduce_batch<double>(empty);
+    std::vector<double> three(3, static_cast<double>(p.rank()));
+    p.allreduce_batch<double>(three);
+    p.reduce_batch<double>(0, empty);
+    const double v = p.allreduce(2.0);
+    EXPECT_DOUBLE_EQ(v, 2.0 * p.nprocs());
+  });
+}
+
+TEST_P(BatchCollectivesTest, EmptyDotProductsIsANoOpEvenUnderCheck) {
+  using hpfcg::hpf::Distribution;
+  using hpfcg::hpf::DistributedVector;
+  const int np = GetParam();
+  hpfcg::check::ScopedEnable guard(hpfcg::check::kCompiled);
+  auto rt = run_spmd(np, [](Process& p) {
+    DistributedVector<double> x(
+        p, std::make_shared<const Distribution>(
+               Distribution::block(16, p.nprocs())));
+    auto y = DistributedVector<double>::aligned_like(x);
+    hpfcg::hpf::fill(x, 1.0);
+    hpfcg::hpf::fill(y, 2.0);
+    const hpfcg::msg::Stats before = p.stats();
+    std::span<const hpfcg::hpf::DotPair<double>> no_pairs;
+    std::span<double> no_out;
+    hpfcg::hpf::dot_products<double>(no_pairs, no_out);
+    EXPECT_EQ(p.stats().reductions, before.reductions);
+    EXPECT_EQ(p.stats().messages_sent, before.messages_sent);
+    EXPECT_EQ(p.stats().flops, before.flops);
+    // The machine is still usable and ordered.
+    EXPECT_NEAR(hpfcg::hpf::dot_product(x, y), 32.0, 1e-12);
+  });
+  EXPECT_EQ(rt->total_stats().reductions,
+            static_cast<std::uint64_t>(GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(MachineSizes, BatchCollectivesTest,

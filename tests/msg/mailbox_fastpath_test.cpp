@@ -28,9 +28,11 @@ namespace {
 struct ToggleGuard {
   bool pooling = hpfcg::msg::buffer_pooling();
   bool inlined = hpfcg::msg::inline_payloads();
+  std::size_t pool_cap = hpfcg::msg::max_pooled_buffers();
   ~ToggleGuard() {
     hpfcg::msg::set_buffer_pooling(pooling);
     hpfcg::msg::set_inline_payloads(inlined);
+    hpfcg::msg::set_max_pooled_buffers(pool_cap);
   }
 };
 
@@ -199,7 +201,104 @@ TEST(MailboxFastPathTest, PoolingDisabledNeverParksBuffers) {
   EXPECT_EQ(mb.pooled_buffers(), 0u);
 }
 
+TEST(MailboxFastPathTest, PoolExhaustionFallsBackToTrackedHeap) {
+  // Regression: a drained pool must hand out a fresh tracked heap buffer
+  // immediately — never block waiting for a recycle — and the envelope
+  // must say which path it took.
+  ToggleGuard guard;
+  hpfcg::msg::set_buffer_pooling(true);
+  hpfcg::msg::set_inline_payloads(true);
+  hpfcg::msg::set_max_pooled_buffers(1);
+  Mailbox mb(1);
+  const std::size_t big = 1024;
+
+  // Pool starts empty: both concurrent-in-flight envelopes take the
+  // tracked heap fallback.
+  Envelope a = mb.make_envelope(0, 1, big);
+  Envelope b = mb.make_envelope(0, 1, big);
+  EXPECT_EQ(a.path(), hpfcg::msg::EnvelopePath::kHeap);
+  EXPECT_EQ(b.path(), hpfcg::msg::EnvelopePath::kHeap);
+
+  // Recycling both parks only one buffer — the cap holds.
+  mb.recycle(std::move(a));
+  mb.recycle(std::move(b));
+  EXPECT_EQ(mb.pooled_buffers(), 1u);
+
+  // The next draw takes the parked buffer; the one after falls back again.
+  Envelope c = mb.make_envelope(0, 1, big);
+  EXPECT_EQ(c.path(), hpfcg::msg::EnvelopePath::kPooled);
+  Envelope d = mb.make_envelope(0, 1, big);
+  EXPECT_EQ(d.path(), hpfcg::msg::EnvelopePath::kHeap);
+
+  // Refill the pool, then cap it at 0: parking is disabled, but a buffer
+  // already parked is still drained.
+  mb.recycle(std::move(c));
+  EXPECT_EQ(mb.pooled_buffers(), 1u);
+  hpfcg::msg::set_max_pooled_buffers(0);
+  Envelope e = mb.make_envelope(0, 1, big);
+  EXPECT_EQ(e.path(), hpfcg::msg::EnvelopePath::kPooled);
+  mb.recycle(std::move(e));
+  EXPECT_EQ(mb.pooled_buffers(), 0u);  // nothing new is parked
+}
+
 class MailboxSpmdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MailboxSpmdTest, PoolSizeOneStressKeepsFifoAndCountsEnvelopePaths) {
+  // Stress the exhausted-pool path: pool capped at ONE buffer while many
+  // large sends are in flight alongside inline ones.  Per-source FIFO and
+  // any-source arrival order must be unaffected, nothing may deadlock, and
+  // the Stats envelope-path counters must show the heap fallback firing.
+  const int np = GetParam();
+  if (np == 1) GTEST_SKIP() << "needs at least one sender";
+  ToggleGuard guard;
+  hpfcg::msg::set_buffer_pooling(true);
+  hpfcg::msg::set_inline_payloads(true);
+  hpfcg::msg::set_max_pooled_buffers(1);
+  constexpr int kRounds = 64;
+  constexpr int kTag = 91;
+  auto rt = run_spmd(np, [](Process& p) {
+    if (p.rank() == 0) {
+      std::vector<int> next(static_cast<std::size_t>(p.nprocs()), 0);
+      const int total = (p.nprocs() - 1) * kRounds;
+      for (int i = 0; i < total; ++i) {
+        int src = -1;
+        const auto payload = p.recv_any<std::int32_t>(kTag, src);
+        EXPECT_FALSE(payload.empty());
+        if (payload.empty()) continue;
+        // Payload alternates 1 value (inline) / 256 values (pooled or
+        // heap); element 0 always carries the per-source sequence number.
+        const int seq = payload[0];
+        EXPECT_EQ(seq, next[static_cast<std::size_t>(src)])
+            << "FIFO violated for src " << src;
+        next[static_cast<std::size_t>(src)] = seq + 1;
+        if (payload.size() > 1) {
+          EXPECT_EQ(payload[255], seq + 1000);  // tail of the large payload
+        }
+      }
+    } else {
+      for (int i = 0; i < kRounds; ++i) {
+        if (i % 2 == 0) {
+          p.send_value<std::int32_t>(0, kTag, i);  // 4 B: inline
+        } else {
+          std::vector<std::int32_t> big(256, 0);   // 1 KiB: pooled/heap
+          big[0] = i;
+          big[255] = i + 1000;
+          p.send<std::int32_t>(0, kTag, big);
+        }
+      }
+    }
+  });
+  const auto total = rt->total_stats();
+  const auto senders = static_cast<std::uint64_t>(np - 1);
+  EXPECT_EQ(total.messages_sent, senders * kRounds);
+  EXPECT_EQ(total.envelopes_inline, senders * kRounds / 2);
+  EXPECT_EQ(total.envelopes_pooled + total.envelopes_heap,
+            senders * kRounds / 2);
+  // With a one-buffer pool and 32 large sends per sender racing the
+  // receiver, the fallback must fire (the very first large send already
+  // finds the pool empty).
+  EXPECT_GT(total.envelopes_heap, 0u);
+}
 
 TEST_P(MailboxSpmdTest, AnySourceReceivesEveryRankOnceUnderToggles) {
   // End-to-end across real sender threads, with each fast-path combination:
@@ -221,7 +320,9 @@ TEST_P(MailboxSpmdTest, AnySourceReceivesEveryRankOnceUnderToggles) {
             const auto payload = p.recv_any<std::int32_t>(kTag, src);
             const bool expect_empty = (src % 2) == 0;
             EXPECT_EQ(payload.empty(), expect_empty);
-            if (!payload.empty()) EXPECT_EQ(payload[0], src * 10);
+            if (!payload.empty()) {
+              EXPECT_EQ(payload[0], src * 10);
+            }
             EXPECT_TRUE(seen.insert(src).second) << "duplicate src " << src;
           }
           EXPECT_EQ(static_cast<int>(seen.size()), p.nprocs() - 1);
