@@ -1,0 +1,323 @@
+// Experiment RD — REDISTRIBUTE cost and payoff.
+//
+// Migrating the CSR trio onto nnz-balanced cut points costs one
+// personalized all-to-all; the paper's cost form for that exchange is
+//
+//   t_redistribute ≈ t_startup · (N_P − 1) + t_comm · bytes_moved / N_P
+//
+// per rank (each rank talks to at most N_P − 1 peers and ships its share
+// of the payload).  This bench measures the simulated machine against that
+// model for a skewed power-law matrix, then shows the payoff: per-rank nnz
+// imbalance before/after migration, and the modeled per-iteration matvec
+// compute bill it controls.  A rebalance-every sweep shows the mid-solve
+// hook amortizing the migration.
+//
+// Exit status is the CI gate: nonzero if post-migration imbalance exceeds
+// 1.1x ideal, if the measured exchange start-up bill disagrees with the
+// message count the replicated metadata predicts, or if a solve with the
+// hook installed but rebalance_every=0 is not Stats-bit-identical to one
+// without the hook.
+//
+//   ./bench_redistribute [--json out.json]
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hpfcg/ext/balanced_partition.hpp"
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/redistribute.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/solvers/rebalance.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/sparse/redistribute.hpp"
+#include "hpfcg/util/cli.hpp"
+
+namespace sv = hpfcg::solvers;
+namespace sp = hpfcg::sparse;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg::msg::Stats;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+/// Max over ranks / ideal average of the per-rank weight under `cuts`.
+double imbalance(const std::vector<std::size_t>& weights,
+                 const std::vector<std::size_t>& cuts) {
+  std::size_t total = 0;
+  for (const std::size_t w : weights) total += w;
+  const int np = static_cast<int>(cuts.size()) - 1;
+  const double ideal =
+      static_cast<double>(total) / static_cast<double>(np);
+  if (ideal == 0.0) return 1.0;
+  return static_cast<double>(hpfcg::ext::bottleneck(weights, cuts)) / ideal;
+}
+
+struct MigrationRow {
+  int np = 0;
+  std::size_t nnz_moved = 0;      ///< machine-wide entries shipped
+  std::size_t bytes_moved = 0;    ///< machine-wide payload bytes
+  std::uint64_t messages = 0;     ///< machine-wide exchange messages
+  double imb_before = 0.0;
+  double imb_after = 0.0;
+  double model_us = 0.0;          ///< per-rank closed form
+  double measured_us = 0.0;       ///< measured modeled_comm delta / NP
+};
+
+MigrationRow measure_migration(const sp::Csr<double>& a, int np) {
+  const hpfcg::msg::CostParams params;
+  const std::size_t n = a.n_rows();
+  const auto weights = hpfcg::ext::atom_weights(a.row_ptr());
+  const auto block = Distribution::block(n, np);
+  std::vector<std::size_t> block_cuts(static_cast<std::size_t>(np) + 1, n);
+  block_cuts[0] = 0;
+  for (int r = 1; r < np; ++r) {
+    block_cuts[static_cast<std::size_t>(r)] = block.local_range(r).first;
+  }
+  const auto cuts = hpfcg::ext::optimal_nnz_cuts(weights, np);
+
+  MigrationRow row;
+  row.np = np;
+  row.imb_before = imbalance(weights, block_cuts);
+  row.imb_after = imbalance(weights, cuts);
+
+  std::atomic<std::size_t> nnz_moved{0}, bytes_moved{0};
+  double comm_before = 0.0, comm_after = 0.0;
+  std::uint64_t msgs_before = 0, msgs_after = 0;
+  auto rt = hpfcg_bench::run_machine(np, [&](Process& proc) {
+    auto mat = sp::DistCsr<double>::row_aligned(
+        proc, a, share(Distribution::block(n, proc.nprocs())));
+    proc.barrier();
+    sp::RedistributeStats st;
+    auto moved = sp::redistribute(mat, cuts, &st);
+    nnz_moved += st.nnz_moved;
+    bytes_moved += st.bytes_moved;
+    (void)moved;
+  });
+  Stats total;
+  for (int r = 0; r < np; ++r) total += rt->stats(r);
+  // The build + barrier cost is isolated by re-running without the
+  // exchange: counters are deterministic, so the difference is exactly the
+  // migration.
+  auto rt0 = hpfcg_bench::run_machine(np, [&](Process& proc) {
+    auto mat = sp::DistCsr<double>::row_aligned(
+        proc, a, share(Distribution::block(n, proc.nprocs())));
+    proc.barrier();
+  });
+  Stats base;
+  for (int r = 0; r < np; ++r) base += rt0->stats(r);
+  comm_before = base.modeled_comm_seconds;
+  comm_after = total.modeled_comm_seconds;
+  msgs_before = base.messages_sent;
+  msgs_after = total.messages_sent;
+
+  row.nnz_moved = nnz_moved.load();
+  row.bytes_moved = bytes_moved.load();
+  row.messages = msgs_after - msgs_before;
+  row.model_us =
+      (params.t_startup * static_cast<double>(np - 1) +
+       params.t_comm * static_cast<double>(row.bytes_moved) /
+           static_cast<double>(np)) *
+      1e6;
+  row.measured_us = (comm_after - comm_before) /
+                    static_cast<double>(np) * 1e6;
+  return row;
+}
+
+/// Machine-wide counter signature of one cg_dist solve.
+Stats solve_signature(const sp::Csr<double>& a, int np, bool install_hook,
+                      std::size_t rebalance_every,
+                      std::size_t* iterations = nullptr) {
+  const std::size_t n = a.n_rows();
+  const auto b_full = sp::random_rhs(n, 1234);
+  std::atomic<std::size_t> iters{0};
+  auto rt = hpfcg_bench::run_machine(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const sv::SolveOptions opts{.rel_tolerance = 1e-10,
+                                .rebalance_every = rebalance_every};
+    sv::SolveResult res;
+    if (install_hook) {
+      const auto hook = sv::make_csr_rebalancer<double>(mat);
+      res = sv::cg_dist<double>(op, b, x, opts, hook);
+    } else {
+      res = sv::cg_dist<double>(op, b, x, opts);
+    }
+    if (proc.rank() == 0) iters = res.iterations;
+  });
+  if (iterations != nullptr) *iterations = iters.load();
+  Stats total;
+  for (int r = 0; r < np; ++r) total += rt->stats(r);
+  return total;
+}
+
+void append_json(std::ostringstream& os, const MigrationRow& r, bool first) {
+  if (!first) os << ",\n";
+  os << "  {\"np\": " << r.np << ", \"nnz_moved\": " << r.nnz_moved
+     << ", \"bytes_moved\": " << r.bytes_moved
+     << ", \"messages\": " << r.messages
+     << ", \"imbalance_before\": " << r.imb_before
+     << ", \"imbalance_after\": " << r.imb_after
+     << ", \"model_us\": " << r.model_us
+     << ", \"measured_us\": " << r.measured_us << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpfcg::util::Cli cli(argc, argv);
+  const std::string json_path =
+      cli.get("json", "", "write rows as JSON to this path");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text("bench_redistribute");
+    return 0;
+  }
+  cli.finish();
+
+  bool ok = true;
+  const hpfcg::msg::CostParams params;
+  // Skewed power-law workload: hub rows are ~30x heavier than base rows.
+  const auto a = sp::powerlaw_spd(4096, 4, 40, 160, 77);
+  const auto weights = hpfcg::ext::atom_weights(a.row_ptr());
+
+  // ---- RD1: migration cost, model vs machine ----------------------------
+  hpfcg::util::Table cost_table(
+      "RD1 — REDISTRIBUTE onto optimal nnz cuts (power-law n=4096): one "
+      "personalized all-to-all, model t_s*(NP-1) + t_c*bytes/NP per rank",
+      {"NP", "rows imb before", "imb after", "nnz moved", "bytes",
+       "msgs", "model[us]", "measured[us]"});
+  std::vector<MigrationRow> rows;
+  for (const int np : {2, 4, 8, 16}) {
+    const MigrationRow row = measure_migration(a, np);
+    rows.push_back(row);
+    cost_table.add_row(
+        {std::to_string(np), hpfcg::util::fmt(row.imb_before, 3),
+         hpfcg::util::fmt(row.imb_after, 3), std::to_string(row.nnz_moved),
+         std::to_string(row.bytes_moved), std::to_string(row.messages),
+         hpfcg::util::fmt(row.model_us, 2),
+         hpfcg::util::fmt(row.measured_us, 2)});
+    // Gate 1: the balanced cuts must land within 1.1x of ideal.
+    if (row.imb_after > 1.1) {
+      std::cerr << "NP=" << np << ": post-migration imbalance "
+                << row.imb_after << " exceeds 1.1x ideal\n";
+      ok = false;
+    }
+    // Gate 2: the skewed workload must actually ship something, and the
+    // exchange plus the nnz-count allgather stays within 2*NP*(NP-1)
+    // messages — ONE personalized all-to-all, not a per-row storm.
+    const auto bound = 2 * static_cast<std::uint64_t>(np) *
+                       static_cast<std::uint64_t>(np - 1);
+    if (row.messages == 0 || row.messages > bound) {
+      std::cerr << "NP=" << np << ": exchange message count "
+                << row.messages << " outside (0, " << bound << "]\n";
+      ok = false;
+    }
+    // Gate 3: measured start-up bill equals t_startup per message — the
+    // per-rank measured comm delta must sit within 3x of the closed form
+    // (the model idealizes the message count to exactly NP-1 per rank).
+    if (row.measured_us > 3.0 * row.model_us + 1.0) {
+      std::cerr << "NP=" << np << ": measured " << row.measured_us
+                << "us vs model " << row.model_us << "us\n";
+      ok = false;
+    }
+  }
+  cost_table.print(std::cout);
+
+  // ---- RD2: what the migration buys per matvec --------------------------
+  hpfcg::util::Table payoff_table(
+      "RD2 — modeled per-matvec compute bill (2 flops/nnz, bottleneck "
+      "rank): uniform block cuts vs migrated optimal cuts",
+      {"NP", "block[us]", "optimal[us]", "speedup"});
+  for (const int np : {2, 4, 8, 16}) {
+    const auto block = Distribution::block(a.n_rows(), np);
+    std::vector<std::size_t> bcuts(static_cast<std::size_t>(np) + 1,
+                                   a.n_rows());
+    bcuts[0] = 0;
+    for (int r = 1; r < np; ++r) {
+      bcuts[static_cast<std::size_t>(r)] = block.local_range(r).first;
+    }
+    const auto ocuts = hpfcg::ext::optimal_nnz_cuts(weights, np);
+    const double us_block =
+        2.0 * static_cast<double>(hpfcg::ext::bottleneck(weights, bcuts)) *
+        params.t_flop * 1e6;
+    const double us_opt =
+        2.0 * static_cast<double>(hpfcg::ext::bottleneck(weights, ocuts)) *
+        params.t_flop * 1e6;
+    payoff_table.add_row({std::to_string(np), hpfcg::util::fmt(us_block, 2),
+                          hpfcg::util::fmt(us_opt, 2),
+                          hpfcg::util::fmt(us_block / us_opt, 2)});
+  }
+  payoff_table.print(std::cout);
+
+  // ---- RD3: the mid-solve hook, off must be free ------------------------
+  const auto small = sp::powerlaw_spd(512, 4, 8, 96, 31);
+  hpfcg::util::Table hook_table(
+      "RD3 — cg_dist with the rebalance hook (power-law n=512, NP=4): "
+      "rebalance_every sweep; 0 must be bit-identical to no hook at all",
+      {"rebalance_every", "iterations", "msgs", "bytes", "reductions"});
+  std::size_t iters = 0;
+  const Stats off = solve_signature(small, 4, false, 0, &iters);
+  hook_table.add_row({"(no hook)", std::to_string(iters),
+                      std::to_string(off.messages_sent),
+                      std::to_string(off.bytes_sent),
+                      std::to_string(off.reductions)});
+  for (const std::size_t every : {std::size_t{0}, std::size_t{25},
+                                  std::size_t{10}, std::size_t{5}}) {
+    const Stats sig = solve_signature(small, 4, true, every, &iters);
+    hook_table.add_row({std::to_string(every), std::to_string(iters),
+                        std::to_string(sig.messages_sent),
+                        std::to_string(sig.bytes_sent),
+                        std::to_string(sig.reductions)});
+    if (every == 0 &&
+        (sig.messages_sent != off.messages_sent ||
+         sig.bytes_sent != off.bytes_sent ||
+         sig.reductions != off.reductions || sig.flops != off.flops)) {
+      std::cerr << "rebalance_every=0 with hook installed is not "
+                   "bit-identical to the hook-free solve\n";
+      ok = false;
+    }
+  }
+  hook_table.print(std::cout);
+
+  std::cout << "\nReading: one all-to-all at t_s*(NP-1) + t_c*bytes/NP buys\n"
+               "a bottleneck rank within 1.1x of ideal — against the up-to-\n"
+               "severalfold nnz imbalance uniform block cuts leave on skewed\n"
+               "matrices.  The mid-solve hook pays that price only when\n"
+               "rebalance_every fires; off, the solve is bit-identical.\n";
+
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      append_json(os, rows[i], i == 0);
+    }
+    os << "\n]\n";
+    std::ofstream out(json_path);
+    out << os.str();
+    if (!out) {
+      std::cerr << "failed to write " << json_path << "\n";
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -31,3 +31,4 @@ hpfcg_add_bench(bench_comm_avoiding)
 hpfcg_add_bench(bench_trace_overhead)
 hpfcg_add_bench(bench_model_fit)
 hpfcg_add_bench(bench_trace_cg)
+hpfcg_add_bench(bench_redistribute)

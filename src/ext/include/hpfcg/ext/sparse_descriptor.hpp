@@ -23,6 +23,7 @@
 #include "hpfcg/msg/process.hpp"
 #include "hpfcg/sparse/csr.hpp"
 #include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/redistribute.hpp"
 
 namespace hpfcg::ext {
 
@@ -50,9 +51,26 @@ class SparseMatrixCsr {
   }
   [[nodiscard]] Partitioner active_partitioner() const { return active_; }
 
-  /// !EXT$ REDISTRIBUTE smA USING <which> — rebuild the trio's
-  /// distributions with the named partitioner.
-  void redistribute_using(Partitioner which) { apply(which); }
+  /// !EXT$ REDISTRIBUTE smA USING <which> — move the trio onto the named
+  /// partitioner's cut points by migrating whole rows between ranks
+  /// (sparse::redistribute), not by re-slicing the replicated matrix: only
+  /// rows whose owner changes travel, in one personalized all-to-all.
+  /// Stats of the last migration are kept for cost reporting.
+  void redistribute_using(Partitioner which) {
+    part_ = partition(global_.row_ptr(), proc_->nprocs(), which);
+    auto migrated = sparse::redistribute(*dist_, part_.atom_dist->cuts(),
+                                         &last_migration_);
+    dist_ = std::make_unique<sparse::DistCsr<T>>(std::move(migrated));
+    dist_->enable_caching();
+    part_.atom_dist = dist_->row_dist_ptr();
+    part_.nnz_dist = dist_->nnz_dist_ptr();
+    active_ = which;
+  }
+
+  /// Send-side stats of the last redistribute_using on this rank.
+  [[nodiscard]] const sparse::RedistributeStats& last_migration() const {
+    return last_migration_;
+  }
 
   /// Redistribute an aligned vector to follow the descriptor's current row
   /// distribution (the "arranging all dependent vectors" the paper
@@ -85,6 +103,7 @@ class SparseMatrixCsr {
   AtomPartition part_;
   std::unique_ptr<sparse::DistCsr<T>> dist_;
   Partitioner active_ = Partitioner::kUniformAtomBlock;
+  sparse::RedistributeStats last_migration_{};
 };
 
 }  // namespace hpfcg::ext

@@ -16,6 +16,13 @@ namespace hpfcg::hpf {
 
 /// Collective: returns a copy of `src` distributed according to `target`.
 /// Both distributions must describe the same global size and machine.
+///
+/// Only elements whose owner actually changes travel: keepers are copied
+/// locally, and a pair of ranks exchanging nothing posts no message (the
+/// all-to-all's sparsity pattern is derived on every rank from the two
+/// replicated distributions).  A target identical to the source degenerates
+/// to a pure local copy with no communication at all — both fast paths take
+/// the same branch on every rank, so the check ledger stays aligned.
 template <class T>
 DistributedVector<T> redistribute(const DistributedVector<T>& src,
                                   DistPtr target) {
@@ -30,26 +37,41 @@ DistributedVector<T> redistribute(const DistributedVector<T>& src,
   const Distribution& from = src.dist();
   const Distribution& to = *target;
 
+  if (src.dist_ptr() == target || from == to) {
+    DistributedVector<T> dst(proc, std::move(target));
+    std::copy(src.local().begin(), src.local().end(), dst.local().begin());
+    return dst;
+  }
+
   // Build per-destination blocks: my elements that rank r owns under the
   // new distribution, in ascending global order (both sides enumerate the
-  // same order, so no index metadata travels).
+  // same order, so no index metadata travels).  Keepers (new owner == me)
+  // skip the buffers entirely.
   std::vector<std::vector<T>> send_blocks(static_cast<std::size_t>(np));
   const std::size_t mine = from.local_count(me);
   for (std::size_t l = 0; l < mine; ++l) {
     const std::size_t g = from.global_index(me, l);
-    send_blocks[static_cast<std::size_t>(to.owner(g))].push_back(
+    const int o = to.owner(g);
+    if (o != me) send_blocks[static_cast<std::size_t>(o)].push_back(
         src.local()[l]);
   }
+  std::vector<std::uint8_t> recv_mask(static_cast<std::size_t>(np), 0);
+  const std::size_t new_mine = to.local_count(me);
+  for (std::size_t l = 0; l < new_mine; ++l) {
+    const int s = from.owner(to.global_index(me, l));
+    if (s != me) recv_mask[static_cast<std::size_t>(s)] = 1;
+  }
 
-  const auto recv_blocks = proc.alltoallv<T>(send_blocks);
+  const auto recv_blocks = proc.alltoallv_masked<T>(send_blocks, recv_mask);
 
   DistributedVector<T> dst(proc, std::move(target));
   std::vector<std::size_t> cursor(static_cast<std::size_t>(np), 0);
-  const std::size_t new_mine = to.local_count(me);
   for (std::size_t l = 0; l < new_mine; ++l) {
     const std::size_t g = to.global_index(me, l);
     const auto s = static_cast<std::size_t>(from.owner(g));
-    dst.local()[l] = recv_blocks[s][cursor[s]++];
+    dst.local()[l] = static_cast<int>(s) == me
+                         ? src.local()[from.local_index(g)]
+                         : recv_blocks[s][cursor[s]++];
   }
   return dst;
 }

@@ -1,10 +1,23 @@
 #include "hpfcg/hpf/distribution.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "hpfcg/util/error.hpp"
 
 namespace hpfcg::hpf {
+
+namespace {
+/// a*b clamped to SIZE_MAX instead of wrapping.  Block boundaries like
+/// r*k feed std::min(n_, ...) — a wrapped product silently lands back
+/// inside [0, n) and produces owner/local_count answers that disagree.
+std::size_t mul_sat(std::size_t a, std::size_t b) {
+  if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return a * b;
+}
+}  // namespace
 
 Distribution::Distribution(Kind kind, std::size_t n, int np, std::size_t k)
     : kind_(kind), n_(n), np_(np), k_(k) {
@@ -23,9 +36,19 @@ Distribution Distribution::block(std::size_t n, int np) {
 }
 
 Distribution Distribution::block_size(std::size_t n, int np, std::size_t k) {
-  HPFCG_REQUIRE(k >= 1, "BLOCK(k) needs k >= 1");
-  HPFCG_REQUIRE(k * static_cast<std::size_t>(np) >= n,
-                "BLOCK(k): k*NP must cover the array (one block per rank)");
+  HPFCG_REQUIRE(np >= 1, "distribution needs at least one processor");
+  HPFCG_REQUIRE(k >= 1, "BLOCK(k) needs k >= 1, got k=" + std::to_string(k) +
+                            " over n=" + std::to_string(n));
+  // Coverage check in ceil-division form: the literal k*np >= n wraps for
+  // large k (k*np mod 2^64 can fall below n), spuriously rejecting layouts
+  // that do cover the array.
+  const std::size_t min_k = n == 0 ? 1
+                                   : (n + static_cast<std::size_t>(np) - 1) /
+                                         static_cast<std::size_t>(np);
+  HPFCG_REQUIRE(k >= min_k,
+                "BLOCK(k): k*NP must cover the array (one block per rank): "
+                "k=" + std::to_string(k) + ", NP=" + std::to_string(np) +
+                    ", n=" + std::to_string(n));
   Distribution d(Kind::kBlockK, n, np, k);
   d.build_counts();
   return d;
@@ -38,7 +61,16 @@ Distribution Distribution::cyclic(std::size_t n, int np) {
 }
 
 Distribution Distribution::cyclic_size(std::size_t n, int np, std::size_t k) {
-  HPFCG_REQUIRE(k >= 1, "CYCLIC(k) needs k >= 1");
+  HPFCG_REQUIRE(np >= 1, "distribution needs at least one processor");
+  HPFCG_REQUIRE(k >= 1, "CYCLIC(k) needs k >= 1, got k=" + std::to_string(k) +
+                            " over n=" + std::to_string(n));
+  // The cycle length k*NP must be representable: a wrapped cycle makes
+  // build_counts credit whole phantom cycles to ranks that owner() never
+  // names (counts() and owner() disagree).
+  HPFCG_REQUIRE(k <= std::numeric_limits<std::size_t>::max() /
+                         static_cast<std::size_t>(np),
+                "CYCLIC(k): k*NP overflows: k=" + std::to_string(k) +
+                    ", NP=" + std::to_string(np));
   Distribution d(Kind::kCyclicK, n, np, k);
   d.build_counts();
   return d;
@@ -80,9 +112,10 @@ void Distribution::build_counts() {
     case Kind::kBlock:
     case Kind::kBlockK:
       for (int r = 0; r < np_; ++r) {
-        const std::size_t lo = std::min(n_, static_cast<std::size_t>(r) * k_);
+        const std::size_t lo =
+            std::min(n_, mul_sat(static_cast<std::size_t>(r), k_));
         const std::size_t hi =
-            std::min(n_, (static_cast<std::size_t>(r) + 1) * k_);
+            std::min(n_, mul_sat(static_cast<std::size_t>(r) + 1, k_));
         counts_[static_cast<std::size_t>(r)] = hi - lo;
       }
       break;
@@ -193,8 +226,8 @@ std::pair<std::size_t, std::size_t> Distribution::local_range(int r) const {
   const auto ur = static_cast<std::size_t>(r);
   if (kind_ == Kind::kCuts) return {cuts_[ur], cuts_[ur + 1]};
   if (np_ == 1) return {0, n_};
-  const std::size_t lo = std::min(n_, ur * k_);
-  const std::size_t hi = std::min(n_, (ur + 1) * k_);
+  const std::size_t lo = std::min(n_, mul_sat(ur, k_));
+  const std::size_t hi = std::min(n_, mul_sat(ur + 1, k_));
   return {lo, hi};
 }
 

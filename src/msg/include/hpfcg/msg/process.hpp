@@ -611,6 +611,53 @@ class Process {
     return recv_blocks;
   }
 
+  /// Personalized all-to-all whose sparsity pattern is replicated
+  /// knowledge.  `recv_mask[s]` must be nonzero exactly when rank s's
+  /// `send_blocks[rank()]` is nonempty — both sides derive the pattern from
+  /// the same replicated metadata (e.g. old and new cut points), so empty
+  /// pairs post no message at all.  This extends the zero-width no-op
+  /// guarantee of the batch collectives to the all-to-all: ranks owning
+  /// nothing (n < N_P) cost zero messages, and the conformance record is
+  /// still posted on every rank, keeping the check ledger aligned.
+  /// The self block never travels (copied directly, like alltoallv).
+  template <class T>
+  std::vector<std::vector<T>> alltoallv_masked(
+      const std::vector<std::vector<T>>& send_blocks,
+      const std::vector<std::uint8_t>& recv_mask) {
+    const int p = nprocs();
+    HPFCG_REQUIRE(static_cast<int>(send_blocks.size()) == p,
+                  "alltoallv_masked: need one block per destination rank");
+    HPFCG_REQUIRE(static_cast<int>(recv_mask.size()) == p,
+                  "alltoallv_masked: need one mask entry per source rank");
+    conform(check::CollectiveKind::kAlltoallv, check::kNoRoot, sizeof(T),
+            check::kUnknownCount);
+    trace::SpanScope span(trace_, trace::SpanKind::kAlltoallv, 0, 0,
+                          tree_depth());
+    if (trace_ != nullptr) {
+      std::uint64_t b = 0;
+      for (const auto& blk : send_blocks) b += blk.size() * sizeof(T);
+      span.set_bytes(b);
+    }
+    const int seq = next_collective();
+    std::vector<std::vector<T>> recv_blocks(static_cast<std::size_t>(p));
+    recv_blocks[static_cast<std::size_t>(rank_)] =
+        send_blocks[static_cast<std::size_t>(rank_)];
+    for (int off = 1; off < p; ++off) {
+      const int dst = (rank_ + off) % p;
+      const int src = (rank_ - off + p) % p;
+      const auto& blk = send_blocks[static_cast<std::size_t>(dst)];
+      if (!blk.empty()) {
+        send<T>(dst, coll_tag(seq, off),
+                std::span<const T>(blk.data(), blk.size()));
+      }
+      if (recv_mask[static_cast<std::size_t>(src)] != 0) {
+        recv_blocks[static_cast<std::size_t>(src)] =
+            recv<T>(src, coll_tag(seq, off));
+      }
+    }
+    return recv_blocks;
+  }
+
   /// Exclusive prefix sum over ranks (rank 0 gets T{}).
   template <class T, class Op = std::plus<T>>
   T exscan(T value, Op op = {}) {

@@ -29,6 +29,7 @@
 
 #include "hpfcg/hpf/dist_vector.hpp"
 #include "hpfcg/hpf/intrinsics.hpp"
+#include "hpfcg/hpf/redistribute.hpp"
 #include "hpfcg/solvers/options.hpp"
 
 namespace hpfcg::solvers {
@@ -41,6 +42,14 @@ using DistOp = std::function<void(const hpf::DistributedVector<T>&,
 /// Distributed preconditioner application: z = M^{-1} r (collective call).
 template <class T>
 using DistPrec = DistOp<T>;
+
+/// Mid-solve rebalance hook (collective call).  Invoked every
+/// SolveOptions::rebalance_every iterations; migrates whatever backs the
+/// operator (matrix, preconditioner state) onto new cut points and returns
+/// the new row distribution — or nullptr to decline (cuts unchanged).  The
+/// decision must be replicated: every rank returns the same answer.
+/// solvers/rebalance.hpp builds the canonical hook over a DistCsr.
+using RebalanceHook = std::function<hpf::DistPtr()>;
 
 namespace detail {
 /// Record a residual evaluation: into the history (when tracked) and onto
@@ -59,6 +68,25 @@ void traced_apply(trace::RankTrace* trc, trace::SpanKind kind,
   trace::SpanScope span(trc, kind, 0, in.local().size() * sizeof(T));
   op(in, out);
 }
+
+/// True when iteration k (0-based, about to end) is a rebalance point.
+inline bool rebalance_due(const SolveOptions& opts,
+                          const RebalanceHook& hook, std::size_t k) {
+  return opts.rebalance_every != 0 && hook != nullptr &&
+         (k + 1) % opts.rebalance_every == 0;
+}
+
+/// Invoke the hook and, when it migrated, move the live iteration vectors
+/// onto the new distribution.  Dead scratch vectors are the caller's
+/// problem (rebuilt empty on the new cuts).  Returns the new distribution
+/// or nullptr when nothing moved.
+template <class T, class... Live>
+hpf::DistPtr apply_rebalance(const RebalanceHook& hook, Live&... live) {
+  hpf::DistPtr nd = hook();
+  if (nd == nullptr) return nullptr;
+  ((live = hpf::redistribute(live, nd)), ...);
+  return nd;
+}
 }  // namespace detail
 
 /// Distributed CG (Figure 2).  x holds the initial guess; all vectors must
@@ -66,7 +94,8 @@ void traced_apply(trace::RankTrace* trc, trace::SpanKind kind,
 template <class T>
 SolveResult cg_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
                     hpf::DistributedVector<T>& x,
-                    const SolveOptions& opts = {}) {
+                    const SolveOptions& opts = {},
+                    const RebalanceHook& rebalance = {}) {
   SolveResult res;
   trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
@@ -118,6 +147,12 @@ SolveResult cg_dist(const DistOp<T>& a, const hpf::DistributedVector<T>& b,
     const T beta = rho_new / rho;
     hpf::aypx<T>(beta, r, p);  // p = beta p + r   (saypx, Figure 2)
     rho = rho_new;
+    // Live vectors at this point: x, r, p.  q is pure scratch — rebuilt
+    // empty on the new cuts rather than migrated.
+    if (detail::rebalance_due(opts, rebalance, k) &&
+        detail::apply_rebalance<T>(rebalance, x, r, p)) {
+      q = hpf::DistributedVector<T>::aligned_like(x);
+    }
   }
   return res;
 }
@@ -133,7 +168,8 @@ template <class T>
 SolveResult cg_fused_dist(const DistOp<T>& a,
                           const hpf::DistributedVector<T>& b,
                           hpf::DistributedVector<T>& x,
-                          const SolveOptions& opts = {}) {
+                          const SolveOptions& opts = {},
+                          const RebalanceHook& rebalance = {}) {
   SolveResult res;
   trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
@@ -196,6 +232,12 @@ SolveResult cg_fused_dist(const DistOp<T>& a,
     hpf::aypx<T>(beta, r, p);  // p = r + beta p
     hpf::aypx<T>(beta, w, s);  // s = w + beta s  (= A p, no extra matvec)
     gamma = gamma_new;
+    // Live vectors: x, r, p, and the recurrence vector s = A p (which MUST
+    // migrate — recomputing it would cost a matvec).  w is scratch.
+    if (detail::rebalance_due(opts, rebalance, k) &&
+        detail::apply_rebalance<T>(rebalance, x, r, p, s)) {
+      w = hpf::DistributedVector<T>::aligned_like(x);
+    }
   }
   return res;
 }
@@ -205,7 +247,8 @@ template <class T>
 SolveResult pcg_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
                      const hpf::DistributedVector<T>& b,
                      hpf::DistributedVector<T>& x,
-                     const SolveOptions& opts = {}) {
+                     const SolveOptions& opts = {},
+                     const RebalanceHook& rebalance = {}) {
   SolveResult res;
   trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
@@ -255,6 +298,15 @@ SolveResult pcg_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
     const T beta = rho_new / rho;
     hpf::aypx<T>(beta, z, p);
     rho = rho_new;
+    // Live vectors: x, r, p.  z is recomputed from r next iteration and q
+    // is scratch; both rebuilt on the new cuts.  The preconditioner must
+    // follow the migration itself (e.g. via make_csr_rebalancer's
+    // on_migrate callback) — jacobi_dist's captured diagonal does not.
+    if (detail::rebalance_due(opts, rebalance, k) &&
+        detail::apply_rebalance<T>(rebalance, x, r, p)) {
+      z = hpf::DistributedVector<T>::aligned_like(x);
+      q = hpf::DistributedVector<T>::aligned_like(x);
+    }
   }
   return res;
 }

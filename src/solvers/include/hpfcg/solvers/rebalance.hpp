@@ -1,0 +1,91 @@
+#pragma once
+// Mid-solve load rebalancing (SolveOptions::rebalance_every).
+//
+// The measured ingredient: when tracing is on, each rank knows how long its
+// own matvec spans took, and dividing by its local nnz gives a per-nonzero
+// cost in ns.  Row weights are per-row nnz scaled by that cost, replicated
+// with one allgatherv, and fed to ext::optimal_nnz_cuts — so the re-cut
+// follows where the machine says the time goes, not where the static model
+// guessed.  Without tracing the weights degrade gracefully to plain nnz
+// counts (the static balance).  Either way the weight vector is replicated
+// before the cut decision, so every rank decides identically and the check
+// ledger stays aligned.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "hpfcg/ext/balanced_partition.hpp"
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/redistribute.hpp"
+#include "hpfcg/trace/span.hpp"
+
+namespace hpfcg::solvers {
+
+/// Replicated per-row weights for re-cutting: per-row nnz, scaled by this
+/// rank's measured ns-per-nonzero when tracing is on (reading the rank's
+/// own span ring mid-run is safe — it is the single writer).  Collective:
+/// one allgatherv replicates the weights on every rank.
+template <class T>
+std::vector<std::size_t> measured_row_weights(sparse::DistCsr<T>& mat) {
+  msg::Process& proc = mat.proc();
+  const auto rp = mat.local_row_ptr();
+  const std::size_t local_nnz = rp.empty() ? 0 : rp.back() - rp.front();
+
+  std::uint64_t unit = 1;
+  if (trace::RankTrace* trc = proc.tracer_rank();
+      trc != nullptr && local_nnz > 0) {
+    std::uint64_t ns = 0;
+    std::uint64_t n_spans = 0;
+    for (const trace::Span& s : trc->spans()) {
+      if (s.kind == trace::SpanKind::kMatvec) {
+        ns += s.t1_ns - s.t0_ns;
+        ++n_spans;
+      }
+    }
+    if (n_spans > 0) {
+      unit = std::max<std::uint64_t>(1, ns / (n_spans * local_nnz));
+    }
+  }
+
+  std::vector<std::size_t> local(mat.local_rows());
+  for (std::size_t lr = 0; lr < local.size(); ++lr) {
+    local[lr] = (rp[lr + 1] - rp[lr]) * static_cast<std::size_t>(unit);
+  }
+  std::vector<std::size_t> weights;
+  proc.allgatherv<std::size_t>(
+      std::span<const std::size_t>(local.data(), local.size()), weights,
+      mat.row_dist().counts());
+  return weights;
+}
+
+/// Build the canonical RebalanceHook over a DistCsr: re-cut on measured row
+/// weights, migrate the matrix when the bottleneck-optimal cuts differ from
+/// the current ones, and return the new row distribution so the solver
+/// re-aligns its live vectors.  Returns nullptr (no migration) when the
+/// cuts come out unchanged — a replicated decision, since the weights are.
+/// `on_migrate` lets the caller move dependent state (preconditioner
+/// diagonals, descriptor bookkeeping) in the same breath.
+template <class T>
+RebalanceHook make_csr_rebalancer(
+    sparse::DistCsr<T>& mat,
+    std::function<void(const hpf::DistPtr&)> on_migrate = {}) {
+  return [&mat, on_migrate = std::move(on_migrate)]() -> hpf::DistPtr {
+    const std::vector<std::size_t> weights = measured_row_weights(mat);
+    const std::vector<std::size_t> cuts =
+        ext::optimal_nnz_cuts(weights, mat.proc().nprocs());
+    const auto target = hpf::Distribution::from_cuts(mat.n(), cuts);
+    if (target == mat.row_dist()) return nullptr;
+    mat = sparse::redistribute(mat, cuts);
+    if (on_migrate) on_migrate(mat.row_dist_ptr());
+    return mat.row_dist_ptr();
+  };
+}
+
+}  // namespace hpfcg::solvers

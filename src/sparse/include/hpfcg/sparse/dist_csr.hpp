@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <numeric>
 #include <span>
 #include <string>
 #include <utility>
@@ -153,6 +154,60 @@ class DistCsr {
     return out;
   }
 
+  /// Collective build from per-rank row slices — the migration path of
+  /// REDISTRIBUTE (sparse/redistribute.hpp).  Each rank passes the lengths
+  /// of its `row_dist->local_count()` rows plus their concatenated (col, a)
+  /// entries; the nnz cut points are derived with one allgatherv and the
+  /// result is row-aligned with caching on.  The new ownership map is
+  /// registered with the check ledger (a rank that migrated a different
+  /// layout is named instead of silently computing on skewed cuts).
+  static DistCsr from_local_rows(msg::Process& proc, hpf::DistPtr row_dist,
+                                 const std::vector<std::size_t>& row_lens,
+                                 std::vector<std::size_t> col,
+                                 std::vector<T> val) {
+    HPFCG_REQUIRE(row_dist->contiguous(),
+                  "from_local_rows: row distribution must be contiguous");
+    const int np = proc.nprocs();
+    const int me = proc.rank();
+    HPFCG_REQUIRE(row_lens.size() == row_dist->local_count(me),
+                  "from_local_rows: need one length per owned row on rank " +
+                      std::to_string(me));
+    std::size_t mine = 0;
+    for (const std::size_t len : row_lens) mine += len;
+    HPFCG_REQUIRE(mine == col.size() && col.size() == val.size(),
+                  "from_local_rows: row lengths disagree with entry arrays "
+                  "on rank " + std::to_string(me));
+
+    // Replicate per-rank nnz counts, then prefix-sum into the new nnz cut
+    // points (the "small array in the size of the number of processors").
+    std::vector<std::size_t> per_rank;
+    proc.allgatherv<std::size_t>(
+        std::span<const std::size_t>(&mine, 1), per_rank,
+        std::vector<std::size_t>(static_cast<std::size_t>(np), 1));
+    std::vector<std::size_t> nnz_cuts(static_cast<std::size_t>(np) + 1, 0);
+    std::partial_sum(per_rank.begin(), per_rank.end(), nnz_cuts.begin() + 1);
+
+    DistCsr out(proc, std::move(row_dist),
+                hpf::Distribution::from_cuts(nnz_cuts.back(), nnz_cuts));
+    out.row_ptr_.resize(row_lens.size() + 1);
+    out.row_ptr_[0] = nnz_cuts[static_cast<std::size_t>(me)];
+    for (std::size_t lr = 0; lr < row_lens.size(); ++lr) {
+      out.row_ptr_[lr + 1] = out.row_ptr_[lr] + row_lens[lr];
+    }
+    out.col_o_ = std::move(col);
+    out.val_o_ = std::move(val);
+    out.col_w_ = out.col_o_;
+    out.val_w_ = out.val_o_;
+    out.assembled_ = true;
+    out.caching_ = true;  // aligned: the work window never changes
+
+    if (proc.checking_active()) {
+      proc.conform_replicated(
+          ownership_fingerprint(out.row_dist(), nnz_cuts));
+    }
+    return out;
+  }
+
   [[nodiscard]] msg::Process& proc() const { return *proc_; }
   [[nodiscard]] std::size_t n() const { return n_; }
   [[nodiscard]] const hpf::Distribution& row_dist() const {
@@ -161,6 +216,23 @@ class DistCsr {
   [[nodiscard]] const hpf::DistPtr& row_dist_ptr() const { return row_dist_; }
   [[nodiscard]] const hpf::Distribution& nnz_dist() const {
     return *nnz_dist_;
+  }
+  [[nodiscard]] const hpf::DistPtr& nnz_dist_ptr() const { return nnz_dist_; }
+
+  /// My rows' pointer slice — local_rows()+1 global k values.
+  [[nodiscard]] std::span<const std::size_t> local_row_ptr() const {
+    return {row_ptr_.data(), row_ptr_.size()};
+  }
+
+  /// The (col, a) window covering exactly this rank's rows, assembling it
+  /// first if stale (collective in that case — call on every rank).  Entries
+  /// of local row lr sit at [row_ptr[lr] - row_ptr[0], row_ptr[lr+1] -
+  /// row_ptr[0]) within the spans.
+  std::pair<std::span<const std::size_t>, std::span<const T>>
+  assembled_window() {
+    assemble();
+    return {std::span<const std::size_t>(col_w_.data(), col_w_.size()),
+            std::span<const T>(val_w_.data(), val_w_.size())};
   }
   [[nodiscard]] std::size_t local_rows() const {
     return row_ptr_.size() - 1;
@@ -243,6 +315,24 @@ class DistCsr {
             {nnz_dist_->local_range(proc.rank()).first,
              nnz_dist_->local_range(proc.rank()).second})) {
     row_lo_ = row_dist_->local_range(proc.rank()).first;
+  }
+
+  /// FNV-1a over the replicated ownership map (row cuts + nnz cuts) — the
+  /// conformance record posted after a migration.
+  static std::size_t ownership_fingerprint(
+      const hpf::Distribution& row_dist,
+      const std::vector<std::size_t>& nnz_cuts) {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(row_dist.size());
+    for (int r = 0; r < row_dist.nprocs(); ++r) {
+      mix(row_dist.local_range(r).first);
+    }
+    for (const std::size_t c : nnz_cuts) mix(c);
+    return static_cast<std::size_t>(h);
   }
 
   /// FNV-1a over the trio's content — cheap relative to a build, computed

@@ -1,19 +1,44 @@
 #pragma once
-// Matrix Market (coordinate, real) I/O.
+// Matrix Market (coordinate) I/O.
 //
-// Supports `general` and `symmetric` coordinate files with real entries —
-// enough to exchange the paper's benchmark matrices with external tools
-// (PARKBENCH/NAS-era codes all spoke this format).
+// Supports `general` and `symmetric` coordinate files with `real`,
+// `integer` or `pattern` fields — enough to exchange the paper's benchmark
+// matrices with external tools (PARKBENCH/NAS-era codes all spoke this
+// format).  Parsing is line-based and strict: comment and blank lines are
+// legal anywhere after the banner, every entry line must carry exactly the
+// field count the banner declares, and any deviation (truncation, surplus
+// entries, shifted fields) raises a MatrixMarketError naming the line —
+// never a silently truncated or mis-shifted matrix.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "hpfcg/sparse/csr.hpp"
+#include "hpfcg/util/error.hpp"
 
 namespace hpfcg::sparse {
 
+/// Typed parse failure: what went wrong and on which 1-based input line
+/// (0 when no line applies, e.g. an unopenable file).
+class MatrixMarketError : public util::Error {
+ public:
+  MatrixMarketError(const std::string& what, std::size_t line)
+      : util::Error("matrix market: " + what +
+                    (line > 0 ? " (line " + std::to_string(line) + ")"
+                              : std::string{})),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
 /// Parse a Matrix Market coordinate stream into CSR.  Symmetric files are
-/// expanded to full storage.  Throws util::Error on malformed input.
+/// expanded to full storage (explicit diagonal entries stay single);
+/// `pattern` entries get value 1.0.  Throws MatrixMarketError (a
+/// util::Error) on malformed input.
 Csr<double> read_matrix_market(std::istream& in);
 
 /// Convenience: open and parse a file.

@@ -1,62 +1,150 @@
 #include "hpfcg/sparse/matrix_market.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
-#include <sstream>
 
 #include "hpfcg/sparse/coo.hpp"
-#include "hpfcg/util/error.hpp"
 #include "hpfcg/util/str.hpp"
 
 namespace hpfcg::sparse {
 
-Csr<double> read_matrix_market(std::istream& in) {
+namespace {
+
+/// Parse a whole token as a positive decimal index; npos on failure.
+std::size_t parse_index(const std::string& tok) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+      tok[0] == '-') {
+    return static_cast<std::size_t>(-1);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Parse a whole token as a floating-point value.
+bool parse_value(const std::string& tok, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtod(tok.c_str(), &end);
+  return end != tok.c_str() && *end == '\0' && errno != ERANGE;
+}
+
+/// Next content line (comments and blanks skipped), trimmed.  Returns false
+/// at end of stream.  `lineno` tracks every physical line read.
+bool next_content_line(std::istream& in, std::string* out,
+                       std::size_t* lineno) {
   std::string line;
-  HPFCG_REQUIRE(static_cast<bool>(std::getline(in, line)),
-                "matrix market: empty stream");
+  while (std::getline(in, line)) {
+    ++*lineno;
+    const std::string t = util::trim(line);
+    if (t.empty() || t[0] == '%') continue;
+    *out = t;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Csr<double> read_matrix_market(std::istream& in) {
+  std::size_t lineno = 0;
+  std::string line;
+  if (!std::getline(in, line)) throw MatrixMarketError("empty stream", 0);
+  ++lineno;
+
   const auto header = util::split_ws(util::to_lower(line));
-  HPFCG_REQUIRE(header.size() >= 4 && header[0] == "%%matrixmarket" &&
-                    header[1] == "matrix" && header[2] == "coordinate",
-                "matrix market: unsupported header: " + line);
-  HPFCG_REQUIRE(header[3] == "real" || header[3] == "integer",
-                "matrix market: only real/integer fields supported");
+  if (header.size() < 4 || header[0] != "%%matrixmarket" ||
+      header[1] != "matrix" || header[2] != "coordinate") {
+    throw MatrixMarketError("unsupported header: " + line, lineno);
+  }
+  const std::string& field = header[3];
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern) {
+    throw MatrixMarketError(
+        "only real/integer/pattern fields supported, got '" + field + "'",
+        lineno);
+  }
   const bool symmetric = header.size() >= 5 && header[4] == "symmetric";
-  if (header.size() >= 5) {
-    HPFCG_REQUIRE(header[4] == "general" || header[4] == "symmetric",
-                  "matrix market: only general/symmetric supported");
+  if (header.size() >= 5 && header[4] != "general" &&
+      header[4] != "symmetric") {
+    throw MatrixMarketError(
+        "only general/symmetric supported, got '" + header[4] + "'", lineno);
   }
 
-  // Skip comments.
-  do {
-    HPFCG_REQUIRE(static_cast<bool>(std::getline(in, line)),
-                  "matrix market: missing size line");
-  } while (!line.empty() && line[0] == '%');
-
-  std::istringstream size_line(line);
+  // Size line: the first content line after the banner.  Comments — and
+  // blank lines, which the old stream-based loop treated as the size line —
+  // are legal here.
+  if (!next_content_line(in, &line, &lineno)) {
+    throw MatrixMarketError("missing size line", lineno);
+  }
+  const auto size_toks = util::split_ws(line);
   std::size_t rows = 0, cols = 0, nnz = 0;
-  HPFCG_REQUIRE(static_cast<bool>(size_line >> rows >> cols >> nnz),
-                "matrix market: malformed size line: " + line);
+  if (size_toks.size() != 3 ||
+      (rows = parse_index(size_toks[0])) == static_cast<std::size_t>(-1) ||
+      (cols = parse_index(size_toks[1])) == static_cast<std::size_t>(-1) ||
+      (nnz = parse_index(size_toks[2])) == static_cast<std::size_t>(-1)) {
+    throw MatrixMarketError("malformed size line: " + line, lineno);
+  }
 
+  // Entry lines: exactly `nnz` of them, each with exactly the declared
+  // field count.  Token-stream parsing here would let a short line silently
+  // shift every following entry by one field — the classic way to read a
+  // plausible-looking but wrong matrix.
+  const std::size_t fields = pattern ? 2 : 3;
   Coo<double> coo(rows, cols);
   for (std::size_t k = 0; k < nnz; ++k) {
-    std::size_t i = 0, j = 0;
-    double v = 0.0;
-    HPFCG_REQUIRE(static_cast<bool>(in >> i >> j >> v),
-                  "matrix market: truncated entry list");
-    HPFCG_REQUIRE(i >= 1 && i <= rows && j >= 1 && j <= cols,
-                  "matrix market: entry out of range");
+    if (!next_content_line(in, &line, &lineno)) {
+      throw MatrixMarketError(
+          "truncated entry list: got " + std::to_string(k) + " of " +
+              std::to_string(nnz) + " declared entries",
+          lineno);
+    }
+    const auto toks = util::split_ws(line);
+    if (toks.size() != fields) {
+      throw MatrixMarketError(
+          "entry has " + std::to_string(toks.size()) + " fields, expected " +
+              std::to_string(fields) + ": " + line,
+          lineno);
+    }
+    const std::size_t i = parse_index(toks[0]);
+    const std::size_t j = parse_index(toks[1]);
+    double v = 1.0;
+    if (i == static_cast<std::size_t>(-1) ||
+        j == static_cast<std::size_t>(-1) ||
+        (!pattern && !parse_value(toks[2], &v))) {
+      throw MatrixMarketError("malformed entry: " + line, lineno);
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      throw MatrixMarketError(
+          "entry (" + std::to_string(i) + ", " + std::to_string(j) +
+              ") outside declared " + std::to_string(rows) + " x " +
+              std::to_string(cols) + " shape",
+          lineno);
+    }
     if (symmetric && i != j) {
       coo.add_sym(i - 1, j - 1, v);
     } else {
+      // Explicit diagonal entries of symmetric files are their own mirror.
       coo.add(i - 1, j - 1, v);
     }
+  }
+
+  // Anything left beyond the declared count is an inconsistency the old
+  // parser swallowed.
+  if (next_content_line(in, &line, &lineno)) {
+    throw MatrixMarketError(
+        "entries beyond the declared " + std::to_string(nnz) + ": " + line,
+        lineno);
   }
   return Csr<double>::from_coo(std::move(coo));
 }
 
 Csr<double> read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
-  HPFCG_REQUIRE(in.good(), "matrix market: cannot open " + path);
+  if (!in.good()) throw MatrixMarketError("cannot open " + path, 0);
   return read_matrix_market(in);
 }
 
@@ -76,7 +164,7 @@ void write_matrix_market(std::ostream& out, const Csr<double>& a) {
 
 void write_matrix_market_file(const std::string& path, const Csr<double>& a) {
   std::ofstream out(path);
-  HPFCG_REQUIRE(out.good(), "matrix market: cannot open " + path);
+  if (!out.good()) throw MatrixMarketError("cannot open " + path, 0);
   write_matrix_market(out, a);
 }
 

@@ -44,6 +44,9 @@ enum class SpanKind : std::uint8_t {
   kMatvec,
   kPrecond,
   kIteration,
+  // data migration (sparse::redistribute / hpf::redistribute callers):
+  // bytes = payload this rank shipped, a = destination count
+  kRedistribute,
 };
 
 /// Human-readable span kind (stable names; used by the Chrome exporter).

@@ -35,6 +35,7 @@ int lane_of(SpanKind k) {
     case SpanKind::kMatvec:
     case SpanKind::kPrecond:
     case SpanKind::kIteration:
+    case SpanKind::kRedistribute:
       return 2;
   }
   return 0;

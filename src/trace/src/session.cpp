@@ -27,6 +27,7 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kMatvec: return "matvec";
     case SpanKind::kPrecond: return "precond";
     case SpanKind::kIteration: return "iteration";
+    case SpanKind::kRedistribute: return "redistribute";
   }
   return "?";
 }

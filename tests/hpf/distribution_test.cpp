@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 #include <tuple>
 #include <vector>
@@ -186,6 +187,53 @@ TEST(Distribution, EqualityComparesMappings) {
   // from_cuts with block boundaries equals block too.
   const auto d = Distribution::from_cuts(12, {0, 3, 6, 9, 12});
   EXPECT_TRUE(a == d);
+}
+
+TEST(Distribution, HugeBlockSizeDoesNotOverflow) {
+  // Regression: the coverage check was written `k * np >= n`, which wraps
+  // for huge k — BLOCK(2^61) over 8 ranks computed 2^64 ≡ 0 < 12 and was
+  // falsely rejected even though rank 0 trivially holds all 12 elements.
+  const std::size_t huge = std::size_t{1} << 61;
+  Distribution d = Distribution::block_size(12, 8, huge);
+  EXPECT_EQ(d.local_count(0), 12u);
+  std::size_t total = 0;
+  for (int r = 0; r < 8; ++r) total += d.local_count(r);
+  EXPECT_EQ(total, 12u);  // counts built with r*k wrapped to garbage before
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(d.owner(i), 0);
+  EXPECT_EQ(d.local_range(0).second, 12u);
+}
+
+TEST(Distribution, HugeCyclicBlockRejectedNotWrapped) {
+  // Regression: CYCLIC(k) computed the cycle length k*np without an
+  // overflow guard; with k near SIZE_MAX/np the wrapped cycle credited
+  // phantom rounds, so local_count disagreed with owner().  Now an
+  // overflow in the cycle length is a typed error naming k and NP.
+  const std::size_t k = std::numeric_limits<std::size_t>::max() / 4 + 2;
+  try {
+    (void)Distribution::cyclic_size(10, 4, k);
+    FAIL() << "CYCLIC(k) with k*NP overflow must be rejected";
+  } catch (const hpfcg::util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("NP=4"), std::string::npos);
+  }
+  // Large-but-safe k is still fine (one giant block on rank 0).
+  check_invariants(
+      Distribution::cyclic_size(10, 4, std::size_t{1} << 60));
+}
+
+TEST(Distribution, ZeroBlockFactorsNamedInError) {
+  try {
+    (void)Distribution::block_size(10, 2, 0);
+    FAIL() << "BLOCK(0) must be rejected";
+  } catch (const hpfcg::util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("k=0"), std::string::npos);
+  }
+  try {
+    (void)Distribution::cyclic_size(10, 2, 0);
+    FAIL() << "CYCLIC(0) must be rejected";
+  } catch (const hpfcg::util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("k=0"), std::string::npos);
+  }
 }
 
 TEST(Distribution, Validation) {

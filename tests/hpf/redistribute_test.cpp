@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "hpfcg/check/check.hpp"
 #include "hpfcg/hpf/redistribute.hpp"
 #include "spmd_test_util.hpp"
 
@@ -87,5 +89,108 @@ TEST_P(RedistributeTest, SizeMismatchRejected) {
 
 INSTANTIATE_TEST_SUITE_P(MachineSizes, RedistributeTest,
                          ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(RedistributeTest, IdenticalTargetMovesNothing) {
+  // Regression: an equal-but-distinct target used to run the full
+  // all-to-all (every element serialized back to its own rank).  Now both
+  // the same-object and equal-mapping cases short-circuit to a local copy:
+  // zero messages, zero collectives, on every machine size.
+  const int np = GetParam();
+  const std::size_t n = 41;
+  auto rt = run_spmd(np, [&](Process& p) {
+    auto dist = share(Distribution::block(n, p.nprocs()));
+    DistributedVector<double> src(p, dist);
+    src.set_from([](std::size_t g) { return static_cast<double>(g) + 0.5; });
+    auto same_obj = hpfcg::hpf::redistribute(src, dist);
+    auto same_map = hpfcg::hpf::redistribute(
+        src, share(Distribution::block(n, p.nprocs())));
+    for (std::size_t l = 0; l < src.local().size(); ++l) {
+      EXPECT_DOUBLE_EQ(same_obj.local()[l], src.local()[l]);
+      EXPECT_DOUBLE_EQ(same_map.local()[l], src.local()[l]);
+    }
+  });
+  const auto total = rt->total_stats();
+  EXPECT_EQ(total.messages_sent, 0u);
+  EXPECT_EQ(total.collectives, 0u);
+}
+
+TEST_P(RedistributeTest, OnlyMigratingElementsTravel) {
+  // Regression: keepers (old owner == new owner) used to be packed,
+  // "sent" to self, and unpacked.  With the self fast path the wire
+  // carries exactly the elements whose owner changes, and a pair of ranks
+  // exchanging nothing posts no message at all.
+  const int np = GetParam();
+  const std::size_t n = 57;
+  const auto from = Distribution::block(n, np);
+  // Shift every cut two elements right (clamped): most elements keep
+  // their owner, a 2-wide fringe per boundary migrates.
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(np) + 1, 0);
+  for (int r = 1; r < np; ++r) {
+    cuts[static_cast<std::size_t>(r)] =
+        std::min(n, from.local_range(r).first + 2);
+  }
+  cuts.back() = n;
+  const auto to = Distribution::from_cuts(n, cuts);
+
+  std::uint64_t want_msgs = 0;
+  std::uint64_t want_bytes = 0;
+  for (int s = 0; s < np; ++s) {
+    for (int d = 0; d < np; ++d) {
+      if (s == d) continue;
+      const auto [slo, shi] = from.local_range(s);
+      const auto [dlo, dhi] = to.local_range(d);
+      const std::size_t lo = std::max(slo, dlo);
+      const std::size_t hi = std::min(shi, dhi);
+      if (lo < hi) {
+        want_msgs += 1;
+        want_bytes += (hi - lo) * sizeof(double);
+      }
+    }
+  }
+  if (np > 1) {
+    ASSERT_GT(want_msgs, 0u);  // the shift must move something
+  }
+
+  auto rt = run_spmd(np, [&](Process& p) {
+    DistributedVector<double> src(
+        p, share(Distribution::block(n, p.nprocs())));
+    src.set_from([](std::size_t g) { return 3.0 * static_cast<double>(g); });
+    auto dst = hpfcg::hpf::redistribute(
+        src, share(Distribution::from_cuts(n, cuts)));
+    for (std::size_t l = 0; l < dst.local().size(); ++l) {
+      EXPECT_DOUBLE_EQ(dst.local()[l],
+                       3.0 * static_cast<double>(dst.global_of(l)));
+    }
+  });
+  const auto total = rt->total_stats();
+  EXPECT_EQ(total.messages_sent, want_msgs);   // no self-messages ever
+  EXPECT_EQ(total.bytes_sent, want_bytes);     // migrating payload only
+}
+
+TEST_P(RedistributeTest, EmptyRanksUnderSmallArrays) {
+  // n < NP leaves ranks with zero elements on one or both sides; the
+  // zero-width pairs must post nothing and the check ledger must stay
+  // aligned (every rank still enters the one collective).
+  const int np = GetParam();
+  hpfcg::check::ScopedEnable checking(true);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{3}}) {
+    run_spmd(np, [&](Process& p) {
+      const int P = p.nprocs();
+      DistributedVector<double> src(p, share(Distribution::block(n, P)));
+      src.set_from([](std::size_t g) { return static_cast<double>(g * 2); });
+      // Everything onto the last rank.
+      std::vector<std::size_t> cuts(static_cast<std::size_t>(P) + 1, 0);
+      cuts.back() = n;
+      auto dst = hpfcg::hpf::redistribute(
+          src, share(Distribution::from_cuts(n, cuts)));
+      EXPECT_EQ(dst.local().size(), p.rank() == P - 1 ? n : 0u);
+      for (std::size_t l = 0; l < dst.local().size(); ++l) {
+        EXPECT_DOUBLE_EQ(dst.local()[l],
+                         static_cast<double>(dst.global_of(l) * 2));
+      }
+    });
+  }
+}
 
 }  // namespace

@@ -1,0 +1,254 @@
+// Mid-solve rebalancing (SolveOptions::rebalance_every + RebalanceHook):
+// convergence across a migration must match the serial reference, the
+// matrix must actually move onto better cuts for skewed workloads, and a
+// disabled hook must leave the solve bit-identical to one that never heard
+// of rebalancing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/solvers/rebalance.hpp"
+#include "hpfcg/solvers/serial.hpp"
+#include "hpfcg/sparse/dist_csr.hpp"
+#include "hpfcg/sparse/generators.hpp"
+#include "spmd_test_util.hpp"
+
+namespace sv = hpfcg::solvers;
+namespace sp = hpfcg::sparse;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+/// Skewed workload: hub rows dominate, so uniform block cuts are wrong.
+sp::Csr<double> skewed_matrix() {
+  return sp::powerlaw_spd(96, 3, 5, 48, 13);
+}
+
+class RebalanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RebalanceTest, CgConvergesAcrossMigrations) {
+  const int np = GetParam();
+  const auto a = skewed_matrix();
+  const std::size_t n = a.n_rows();
+  const auto b_full = sp::random_rhs(n, 5);
+  std::vector<double> x_ref(n, 0.0);
+  const auto ref = sv::cg(a, b_full, x_ref, {.rel_tolerance = 1e-10});
+  ASSERT_TRUE(ref.converged);
+
+  std::atomic<std::size_t> migrations{0};
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto hook = sv::make_csr_rebalancer<double>(
+        mat, [&](const hpfcg::hpf::DistPtr&) { ++migrations; });
+    const auto res = sv::cg_dist<double>(
+        op, b, x, {.rel_tolerance = 1e-10, .rebalance_every = 3}, hook);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.relative_residual, 1e-10);
+    // The migrated matvec is bit-identical but the dot-product partials
+    // regroup after a migration, so compare solutions, not iterates.
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-7 * (1.0 + std::abs(x_ref[i])));
+    }
+  });
+  if (np > 1) {
+    EXPECT_GT(migrations.load(), 0u);
+  }
+}
+
+TEST_P(RebalanceTest, CgFusedKeepsRecurrenceAcrossMigration) {
+  const int np = GetParam();
+  const auto a = skewed_matrix();
+  const std::size_t n = a.n_rows();
+  const auto b_full = sp::random_rhs(n, 21);
+  std::vector<double> x_ref(n, 0.0);
+  const auto ref = sv::cg(a, b_full, x_ref, {.rel_tolerance = 1e-10});
+  ASSERT_TRUE(ref.converged);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto hook = sv::make_csr_rebalancer<double>(mat);
+    const auto res = sv::cg_fused_dist<double>(
+        op, b, x, {.rel_tolerance = 1e-10, .rebalance_every = 4}, hook);
+    EXPECT_TRUE(res.converged);
+    const auto full = x.to_global();
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(full[i], x_ref[i], 1e-7 * (1.0 + std::abs(x_ref[i])));
+    }
+  });
+}
+
+TEST_P(RebalanceTest, PcgRealignsPreconditionerViaCallback) {
+  const int np = GetParam();
+  const auto a = skewed_matrix();
+  const std::size_t n = a.n_rows();
+  const auto b_full = sp::random_rhs(n, 33);
+
+  run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    DistributedVector<double> inv_diag(proc, dist);
+    inv_diag.set_from([&](std::size_t g) { return 1.0 / a.at(g, g); });
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    // The preconditioner's diagonal is dependent state: the hook's
+    // on_migrate callback re-aligns it with the migrated rows.
+    const sv::DistPrec<double> prec =
+        [&inv_diag](const DistributedVector<double>& r,
+                    DistributedVector<double>& z) {
+          hpfcg::hpf::hadamard(inv_diag, r, z);
+        };
+    const auto hook = sv::make_csr_rebalancer<double>(
+        mat, [&](const hpfcg::hpf::DistPtr& nd) {
+          inv_diag = hpfcg::hpf::redistribute(inv_diag, nd);
+        });
+    const auto res = sv::pcg_dist<double>(
+        op, prec, b, x, {.rel_tolerance = 1e-10, .rebalance_every = 3},
+        hook);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.relative_residual, 1e-10);
+    // Verify against the operator directly: ||b - A x|| / ||b|| small.
+    DistributedVector<double> q(proc, mat.row_dist_ptr());
+    auto xa = hpfcg::hpf::redistribute(x, mat.row_dist_ptr());
+    mat.matvec(xa, q);
+    const auto qf = q.to_global();
+    double rr = 0.0, bb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      rr += (b_full[i] - qf[i]) * (b_full[i] - qf[i]);
+      bb += b_full[i] * b_full[i];
+    }
+    EXPECT_LE(std::sqrt(rr / bb), 1e-9);
+  });
+}
+
+TEST_P(RebalanceTest, SkewedMatrixActuallyMigrates) {
+  const int np = GetParam();
+  if (np < 2) GTEST_SKIP() << "single rank never migrates";
+  const auto a = skewed_matrix();
+  const std::size_t n = a.n_rows();
+  const auto b_full = sp::random_rhs(n, 41);
+
+  std::atomic<std::size_t> migrations{0};
+  run_spmd(np, [&](Process& proc) {
+    auto block = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, block);
+    DistributedVector<double> b(proc, block), x(proc, block);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto hook = sv::make_csr_rebalancer<double>(
+        mat, [&](const hpfcg::hpf::DistPtr&) { ++migrations; });
+    const auto res = sv::cg_dist<double>(
+        op, b, x, {.rel_tolerance = 1e-10, .rebalance_every = 2}, hook);
+    EXPECT_TRUE(res.converged);
+    if (proc.rank() == 0 && res.iterations >= 2) {
+      // Hub rows make optimal nnz cuts differ from uniform block cuts.
+      EXPECT_FALSE(mat.row_dist() == *block);
+    }
+  });
+}
+
+TEST_P(RebalanceTest, DisabledHookIsBitIdentical) {
+  const int np = GetParam();
+  const auto a = skewed_matrix();
+  const std::size_t n = a.n_rows();
+  const auto b_full = sp::random_rhs(n, 55);
+
+  std::vector<double> hist_with, hist_without;
+  std::vector<double> x_with, x_without;
+
+  auto rt_with = run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto hook = sv::make_csr_rebalancer<double>(mat);
+    // Hook installed but rebalance_every = 0 (the default): never invoked.
+    const auto res = sv::cg_dist<double>(
+        op, b, x, {.rel_tolerance = 1e-10, .track_residuals = true}, hook);
+    if (proc.rank() == 0) {
+      hist_with = res.residual_history;
+      x_with = x.to_global();
+    } else {
+      (void)x.to_global();
+    }
+  });
+  auto rt_without = run_spmd(np, [&](Process& proc) {
+    auto dist = share(Distribution::block(n, proc.nprocs()));
+    auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+    DistributedVector<double> b(proc, dist), x(proc, dist);
+    b.from_global(b_full);
+    const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                      DistributedVector<double>& q) {
+      mat.matvec(p, q);
+    };
+    const auto res = sv::cg_dist<double>(
+        op, b, x, {.rel_tolerance = 1e-10, .track_residuals = true});
+    if (proc.rank() == 0) {
+      hist_without = res.residual_history;
+      x_without = x.to_global();
+    } else {
+      (void)x.to_global();
+    }
+  });
+
+  const auto sw = rt_with->total_stats();
+  const auto so = rt_without->total_stats();
+  EXPECT_EQ(sw.messages_sent, so.messages_sent);
+  EXPECT_EQ(sw.bytes_sent, so.bytes_sent);
+  EXPECT_EQ(sw.collectives, so.collectives);
+  EXPECT_EQ(sw.reductions, so.reductions);
+  EXPECT_EQ(sw.reduction_values, so.reduction_values);
+  EXPECT_EQ(sw.flops, so.flops);
+  ASSERT_EQ(hist_with.size(), hist_without.size());
+  for (std::size_t k = 0; k < hist_with.size(); ++k) {
+    EXPECT_EQ(hist_with[k], hist_without[k]);  // bit-identical iterates
+  }
+  ASSERT_EQ(x_with.size(), x_without.size());
+  for (std::size_t i = 0; i < x_with.size(); ++i) {
+    EXPECT_EQ(x_with[i], x_without[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, RebalanceTest,
+                         ::testing::ValuesIn(test_machine_sizes()));
+
+}  // namespace

@@ -83,6 +83,97 @@ TEST(MatrixMarket, MalformedInputRejected) {
   }
 }
 
+TEST(MatrixMarket, BlankLinesAfterBannerAccepted) {
+  // Regression: the old stream-based parser consumed the first three
+  // whitespace-separated tokens as the size line, so a blank line between
+  // banner and size line was harmless but a comment there shifted the
+  // tokens — and a blank line *inside* the entry list silently ended it.
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "\n"
+     << "% comment after a blank line\n"
+     << "2 2 2\n"
+     << "\n"
+     << "1 1 3.0\n"
+     << "% mid-list comment\n"
+     << "2 2 4.0\n"
+     << "\n";
+  const auto a = sp::read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+}
+
+TEST(MatrixMarket, PatternFieldGetsUnitValues) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+     << "3 3 3\n"
+     << "1 1\n"
+     << "2 1\n"
+     << "3 3\n";
+  const auto a = sp::read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 4u);  // off-diagonal mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+}
+
+TEST(MatrixMarket, SymmetricExplicitDiagonalStaysSingle) {
+  // Regression: a naive expansion mirrors every entry, doubling explicit
+  // diagonals; the diagonal of an SPD operator must come through intact.
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "2 2 3\n"
+     << "1 1 5.0\n"
+     << "2 1 -1.0\n"
+     << "2 2 5.0\n";
+  const auto a = sp::read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 5.0);
+}
+
+TEST(MatrixMarket, FieldCountMismatchNamesLine) {
+  // Regression: token-stream parsing let a 2-field line steal the next
+  // line's row index as its value, shifting every following entry — a
+  // plausible-looking but wrong matrix instead of an error.
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 2\n"
+     << "1 1\n"        // missing value, line 3
+     << "2 2 4.0\n";
+  try {
+    (void)sp::read_matrix_market(ss);
+    FAIL() << "short entry line must be rejected";
+  } catch (const sp::MatrixMarketError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("2 fields"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, SurplusEntriesRejected) {
+  // Regression: the old parser stopped reading after nnz entries, silently
+  // accepting (and discarding) whatever followed.
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 1\n"
+     << "1 1 1.0\n"
+     << "2 2 2.0\n";
+  EXPECT_THROW((void)sp::read_matrix_market(ss), sp::MatrixMarketError);
+}
+
+TEST(MatrixMarket, ErrorsCarryLineNumbers) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n% c\n2 2 1\n9 9 1.0\n");
+  try {
+    (void)sp::read_matrix_market(ss);
+    FAIL() << "out-of-range entry must be rejected";
+  } catch (const sp::MatrixMarketError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("(line 4)"), std::string::npos);
+  }
+}
+
 TEST(MatrixMarket, FileRoundTrip) {
   const auto a = sp::laplacian_2d(4, 4);
   const std::string path = ::testing::TempDir() + "/hpfcg_mm_test.mtx";
