@@ -36,15 +36,31 @@ template <class T>
 class PrivateArray {
  public:
   /// Fork a private copy of length n on every rank, initialized to `init`
-  /// (the additive identity for MERGE(+)).
+  /// (the additive identity for MERGE(+)).  With race detection on, the
+  /// region is registered with the machine's detector (every rank
+  /// constructs its regions in the same SPMD order, so the per-rank
+  /// ordinal is the machine-wide region identity).
   PrivateArray(msg::Process& proc, std::size_t n, T init = T{})
-      : proc_(&proc), data_(n, init) {}
+      : proc_(&proc), data_(n, init) {
+    if (race::Detector* d = proc.runtime().racer(); d != nullptr &&
+                                                    d->detecting()) {
+      region_ = d->register_region(proc.rank(), race::RegionKind::kPrivate,
+                                   "private[" + std::to_string(n) + "]");
+      tracked_ = true;
+    }
+  }
 
   PrivateArray(const PrivateArray&) = delete;
   PrivateArray& operator=(const PrivateArray&) = delete;
   PrivateArray(PrivateArray&& o) noexcept
-      : proc_(o.proc_), data_(std::move(o.data_)), ended_(o.ended_) {
+      : proc_(o.proc_),
+        data_(std::move(o.data_)),
+        ended_(o.ended_),
+        region_(o.region_),
+        tracked_(o.tracked_),
+        dirty_(o.dirty_) {
     o.ended_ = PrivateEnd::kDiscarded;  // moved-from shell owes no merge
+    o.tracked_ = false;
   }
 
   /// Leak audit (checking only): a region that reaches end of scope still
@@ -68,6 +84,7 @@ class PrivateArray {
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] std::span<T> local() {
     trap_write_after_end();
+    dirty_ = true;  // dirty bit, not a detector call: the hot path stays hot
     return {data_.data(), data_.size()};
   }
   [[nodiscard]] std::span<const T> local() const {
@@ -75,6 +92,7 @@ class PrivateArray {
   }
   [[nodiscard]] T& operator[](std::size_t i) {
     trap_write_after_end();
+    dirty_ = true;
     return data_[i];
   }
   [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
@@ -89,7 +107,9 @@ class PrivateArray {
                   "private region already ended");
     HPFCG_REQUIRE(target.size() == data_.size(),
                   "merge_into: length mismatch");
+    race_note_writes();
     proc_->allreduce_vec(data_, op);
+    race_note_publish();
     auto tl = target.local();
     for (std::size_t l = 0; l < tl.size(); ++l) {
       tl[l] = data_[target.global_of(l)];
@@ -103,7 +123,9 @@ class PrivateArray {
   std::vector<T> merge_replicated(Op op = {}) {
     HPFCG_REQUIRE(ended_ == PrivateEnd::kPending,
                   "private region already ended");
+    race_note_writes();
     proc_->allreduce_vec(data_, op);
+    race_note_publish();
     ended_ = PrivateEnd::kMerged;
     return data_;
   }
@@ -130,9 +152,29 @@ class PrivateArray {
     }
   }
 
+  /// Race detection: record the region's accumulated writes (one call at
+  /// merge time — the current clock dominates every program-order write the
+  /// dirty bit stands for) and, after the merge collective, verify the
+  /// publish dominated every other rank's write.
+  void race_note_writes() {
+    if (!tracked_ || !dirty_) return;
+    if (race::Detector* d = proc_->runtime().racer()) {
+      d->on_region_write(proc_->rank(), region_);
+    }
+  }
+  void race_note_publish() {
+    if (!tracked_) return;
+    if (race::Detector* d = proc_->runtime().racer()) {
+      d->on_region_publish(proc_->rank(), region_);
+    }
+  }
+
   msg::Process* proc_;
   std::vector<T> data_;
   PrivateEnd ended_ = PrivateEnd::kPending;
+  std::uint64_t region_ = 0;
+  bool tracked_ = false;
+  bool dirty_ = false;
 };
 
 }  // namespace hpfcg::ext

@@ -32,10 +32,21 @@
 #include <mutex>
 #include <vector>
 
+#include "hpfcg/race/clock.hpp"
+
+namespace hpfcg::race {
+class Detector;
+}
+
 namespace hpfcg::msg {
 
 /// Wildcard source for receive matching (MPI_ANY_SOURCE analogue).
 inline constexpr int kAnySource = -1;
+
+/// Tag-space bit reserved for collective traffic (set by Process::coll_tag).
+/// User point-to-point tags must stay below it; the race detector's fence
+/// check uses it to skip a collective's own internal messages.
+inline constexpr int kCollectiveTagBit = 0x40000000;
 
 /// Runtime toggles for the mailbox fast paths, so benchmarks can A/B the
 /// pooled/inline machinery against plain heap allocation in one binary.
@@ -76,6 +87,12 @@ class Envelope {
 
   int src = 0;
   int tag = 0;
+
+  /// Piggybacked vector-clock stamp (hpfcg::race).  Rides the envelope
+  /// struct, not the payload: zero-length messages carry clocks for free
+  /// and no Stats byte counter ever sees it.  Empty unless race detection
+  /// was on at send time.
+  race::Stamp race_stamp;
 
   Envelope() = default;
 
@@ -158,6 +175,17 @@ class Mailbox {
   /// Poison the mailbox: wake all waiters, make every receive throw.
   void abort();
 
+  /// Attach the machine's race detector (null detaches).  `owner` is the
+  /// rank this mailbox belongs to — the receiver whose any-source matches
+  /// the detector arbitrates.  Set once at Runtime construction, before
+  /// any worker thread runs.
+  void set_race(race::Detector* det, int owner);
+
+  /// Stamps of every queued non-collective message, in arrival order — the
+  /// input to the detector's fence-order check.  Called by the owning
+  /// rank's thread at fence entry.
+  [[nodiscard]] std::vector<race::StampedMessage> pending_user_stamps() const;
+
  private:
   bool match_locked(int src, int tag, Envelope& out);
 
@@ -169,6 +197,12 @@ class Mailbox {
   std::vector<std::deque<Envelope>> shards_;
   std::uint64_t next_seq_ = 0;
   bool aborted_ = false;
+
+  /// Race detector (null when detection and replay are both off).  Guarded
+  /// by mu_ only in the sense that it is written before threads start;
+  /// match_locked consults it under mu_ (lock order: mailbox -> ledger).
+  race::Detector* race_ = nullptr;
+  int race_owner_ = 0;
 
   /// Freelist of heap payload buffers.  Its own mutex: senders draw from it
   /// while the receiver recycles, and neither should contend with matching.

@@ -156,6 +156,7 @@ class Process {
   /// Synchronize all processors.
   void barrier() {
     conform(check::CollectiveKind::kBarrier, check::kNoRoot, 0, 0);
+    race_fence("barrier");
     trace::SpanScope span(trace_, trace::SpanKind::kBarrier, 0, 0,
                           tree_depth());
     auto& s = stats();
@@ -163,7 +164,10 @@ class Process {
     s.modeled_comm_seconds += cost().barrier_time();
     check::Harness* h = rt_.checker();
     if (h != nullptr) h->begin_wait(rank_, check::WaitKind::kBarrier);
+    race::Detector* d = rt_.racer();
+    if (d != nullptr) d->barrier_post(rank_);
     rt_.barrier_wait();
+    if (d != nullptr) d->barrier_adopt(rank_);
     if (h != nullptr) h->end_wait(rank_);
   }
 
@@ -274,6 +278,7 @@ class Process {
   /// All-reduce of one value: reduce to rank 0 then broadcast.
   template <class T, class Op = std::plus<T>>
   T allreduce(T value, Op op = {}) {
+    race_fence("allreduce");
     value = reduce<T, Op>(0, value, op);
     return broadcast_value<T>(0, value);
   }
@@ -285,6 +290,7 @@ class Process {
     const int p = nprocs();
     conform(check::CollectiveKind::kAllreduceVec, check::kNoRoot, sizeof(T),
             buf.size());
+    race_fence("allreduce_vec");
     trace::SpanScope span(trace_, trace::SpanKind::kAllreduceVec,
                           static_cast<std::uint32_t>(buf.size()),
                           buf.size() * sizeof(T), tree_depth());
@@ -348,7 +354,8 @@ class Process {
     const int p = nprocs();
     conform(check::CollectiveKind::kAllreduceBatch, check::kNoRoot, sizeof(T),
             vals.size());
-    if (vals.empty()) return;
+    if (vals.empty()) return;  // width-0: no messages, no fence semantics
+    race_fence("allreduce_batch");
     trace::SpanScope span(trace_, trace::SpanKind::kAllreduceBatch,
                           static_cast<std::uint32_t>(vals.size()),
                           vals.size() * sizeof(T), tree_depth());
@@ -787,7 +794,18 @@ class Process {
 
   /// Collective-internal tags live above the user tag space.
   static int coll_tag(int seq, int step) {
-    return 0x40000000 | ((seq & 0x3FFFFF) << 8) | (step & 0xFF);
+    return kCollectiveTagBit | ((seq & 0x3FFFFF) << 8) | (step & 0xFF);
+  }
+
+  /// hpfcg::race hook: flag point-to-point messages still pending in this
+  /// rank's mailbox as it enters a fence-class collective (`what`), when
+  /// their sends are not ordered before the fence.  Side channel — never
+  /// sends, never touches Stats.
+  void race_fence(const char* what) {
+    race::Detector* d = rt_.racer();
+    if (d == nullptr || !d->detecting()) return;
+    const auto pending = rt_.mailbox(rank_).pending_user_stamps();
+    if (!pending.empty()) d->on_fence(rank_, what, pending);
   }
 
   void send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
@@ -798,6 +816,7 @@ class Process {
     // stored inline, larger ones reuse a recycled buffer when one exists.
     Envelope env = rt_.mailbox(dst).make_envelope(rank_, tag, bytes);
     if (bytes > 0) std::memcpy(env.data(), data, bytes);
+    if (race::Detector* d = rt_.racer()) d->on_send(rank_, env.race_stamp);
     auto& s = stats();
     ++s.messages_sent;
     s.bytes_sent += bytes;
@@ -821,6 +840,9 @@ class Process {
     if (h != nullptr) h->begin_wait(rank_, check::WaitKind::kRecv, src, tag);
     Envelope env = rt_.mailbox(rank_).receive(src, tag);
     if (h != nullptr) h->end_wait(rank_);
+    if (race::Detector* d = rt_.racer()) {
+      d->on_receive(rank_, env.src, env.race_stamp);
+    }
     auto& s = stats();
     ++s.messages_received;
     s.bytes_received += env.size();

@@ -22,6 +22,8 @@
 #include "hpfcg/msg/cost_model.hpp"
 #include "hpfcg/msg/mailbox.hpp"
 #include "hpfcg/msg/stats.hpp"
+#include "hpfcg/race/detector.hpp"
+#include "hpfcg/race/race.hpp"
 #include "hpfcg/trace/session.hpp"
 #include "hpfcg/trace/trace.hpp"
 
@@ -89,6 +91,14 @@ class Runtime {
     return tracer_.get();
   }
 
+  /// Race detector, or nullptr when detection and replay are both off.
+  /// When the race layer is compiled out this folds to a constant nullptr,
+  /// so every hook site (`if (auto* d = rt.racer())`) is dead code.
+  [[nodiscard]] race::Detector* racer() const {
+    if constexpr (!race::kCompiled) return nullptr;
+    return racer_.get();
+  }
+
  private:
   void audit_teardown() const;
 
@@ -98,6 +108,7 @@ class Runtime {
   std::vector<Stats> stats_;
   std::unique_ptr<check::Harness> checker_;
   std::unique_ptr<trace::Session> tracer_;
+  std::unique_ptr<race::Detector> racer_;
 
   /// True between run() entry and join; guards cross-rank Stats aggregation.
   std::atomic<bool> running_{false};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "hpfcg/race/detector.hpp"
 #include "hpfcg/util/error.hpp"
 
 namespace hpfcg::msg {
@@ -127,17 +128,40 @@ bool Mailbox::match_locked(int src, int tag, Envelope& out) {
   // other source.
   std::deque<Envelope>* best_q = nullptr;
   std::deque<Envelope>::iterator best_it;
-  for (auto& q : shards_) {
-    for (auto it = q.begin(); it != q.end(); ++it) {
-      if (it->tag != tag) continue;
-      if (best_q == nullptr || it->seq < best_it->seq) {
-        best_q = &q;
-        best_it = it;
+  if (race_ != nullptr) {
+    // Detector attached: hand it the full candidate set (one head per
+    // source shard) so it can flag concurrent pairs and, under replay,
+    // perturb the choice.  Per-(src,tag) FIFO is preserved by construction
+    // because only shard heads are eligible.  Without replay the detector
+    // picks the lowest arrival stamp — bit-identical to the plain path.
+    std::vector<std::deque<Envelope>::iterator> heads;
+    std::vector<race::Detector::Candidate> cands;
+    for (auto& q : shards_) {
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->tag != tag) continue;
+        heads.push_back(it);
+        cands.push_back(race::Detector::Candidate{it->src, it->seq,
+                                                  &it->race_stamp});
+        break;  // later entries in this shard are newer
       }
-      break;  // later entries in this shard are newer
     }
+    if (heads.empty()) return false;
+    const std::size_t pick = race_->choose_wildcard(race_owner_, tag, cands);
+    best_it = heads[pick];
+    best_q = &shards_[static_cast<std::size_t>(best_it->src)];
+  } else {
+    for (auto& q : shards_) {
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->tag != tag) continue;
+        if (best_q == nullptr || it->seq < best_it->seq) {
+          best_q = &q;
+          best_it = it;
+        }
+        break;  // later entries in this shard are newer
+      }
+    }
+    if (best_q == nullptr) return false;
   }
-  if (best_q == nullptr) return false;
   out = std::move(*best_it);
   best_q->erase(best_it);
   return true;
@@ -197,6 +221,30 @@ std::vector<Mailbox::PendingInfo> Mailbox::pending_info() const {
   out.reserve(left.size());
   for (const Envelope* env : left) {
     out.push_back(PendingInfo{env->src, env->tag, env->size()});
+  }
+  return out;
+}
+
+void Mailbox::set_race(race::Detector* det, int owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  race_ = det;
+  race_owner_ = owner;
+}
+
+std::vector<race::StampedMessage> Mailbox::pending_user_stamps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Envelope*> left;
+  for (const auto& q : shards_) {
+    for (const auto& env : q) {
+      if ((env.tag & kCollectiveTagBit) == 0) left.push_back(&env);
+    }
+  }
+  std::sort(left.begin(), left.end(),
+            [](const Envelope* a, const Envelope* b) { return a->seq < b->seq; });
+  std::vector<race::StampedMessage> out;
+  out.reserve(left.size());
+  for (const Envelope* env : left) {
+    out.push_back(race::StampedMessage{env->src, env->tag, env->race_stamp});
   }
   return out;
 }

@@ -26,6 +26,14 @@ Runtime::Runtime(int nprocs, CostParams params, Topology topo)
   if (trace::kCompiled && trace::enabled()) {
     tracer_ = std::make_unique<trace::Session>(nprocs, trace::ring_capacity());
   }
+  if (race::kCompiled && (race::enabled() || race::replay_seed() != 0)) {
+    racer_ = std::make_unique<race::Detector>(nprocs, race::enabled(),
+                                              race::replay_seed(),
+                                              checker_.get());
+    for (int r = 0; r < nprocs; ++r) {
+      mailboxes_[static_cast<std::size_t>(r)]->set_race(racer_.get(), r);
+    }
+  }
 }
 
 void Runtime::run(const std::function<void(Process&)>& body) {

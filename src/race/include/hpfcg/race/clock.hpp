@@ -1,0 +1,112 @@
+#pragma once
+// Vector-clock algebra for the message-race detector.
+//
+// One component per rank; component r counts rank r's observable events
+// (sends, receive completions, barrier passages).  The algebra is the
+// textbook one:
+//
+//   tick(r)      — rank r performs an event: C[r] += 1.
+//   merge(S)     — a receive completes with stamp S: C = max(C, S)
+//                  element-wise (then tick, done by the caller).
+//   compare(A,B) — the induced partial order.  A happens-before B iff
+//                  A <= B element-wise and A != B; incomparable stamps are
+//                  *concurrent*, which is precisely "could be delivered in
+//                  either order" — the thing TSan cannot see.
+//
+// Stamps travel as plain std::vector<std::uint32_t> so the msg layer can
+// carry them in an Envelope without depending on this header's types.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpfcg::race {
+
+/// Raw stamp type as piggybacked on a message envelope.
+using Stamp = std::vector<std::uint32_t>;
+
+/// Outcome of comparing two stamps under the happens-before partial order.
+enum class Order : std::uint8_t {
+  kEqual = 0,
+  kBefore = 1,      ///< left happens-before right
+  kAfter = 2,       ///< right happens-before left
+  kConcurrent = 3,  ///< incomparable: no causal path either way
+};
+
+/// Compare two equal-length stamps.  Zero-length stamps (a message sent
+/// while detection was off) are treated as the bottom element: ordered
+/// before everything non-empty, equal to each other.
+[[nodiscard]] inline Order compare(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b) {
+  if (a.empty() || b.empty()) {
+    if (a.empty() && b.empty()) return Order::kEqual;
+    return a.empty() ? Order::kBefore : Order::kAfter;
+  }
+  bool le = true;  // a <= b element-wise
+  bool ge = true;  // a >= b element-wise
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) ge = false;
+    if (a[i] > b[i]) le = false;
+  }
+  if (le && ge) return Order::kEqual;
+  if (le) return Order::kBefore;
+  if (ge) return Order::kAfter;
+  return Order::kConcurrent;
+}
+
+/// True when neither stamp happens-before the other (and they differ).
+[[nodiscard]] inline bool concurrent(std::span<const std::uint32_t> a,
+                                     std::span<const std::uint32_t> b) {
+  return compare(a, b) == Order::kConcurrent;
+}
+
+/// True when `a` happens-before-or-equals `b` (a is *dominated* by b).
+[[nodiscard]] inline bool dominated(std::span<const std::uint32_t> a,
+                                    std::span<const std::uint32_t> b) {
+  const Order o = compare(a, b);
+  return o == Order::kBefore || o == Order::kEqual;
+}
+
+/// One rank's clock.  Each rank's clock is mutated only by its own thread
+/// (sends, receive completions); the barrier join copies it under the
+/// detector's join mutex while its owner is parked inside the barrier.
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(int nprocs)
+      : c_(static_cast<std::size_t>(nprocs), 0) {}
+
+  void tick(int rank) { ++c_[static_cast<std::size_t>(rank)]; }
+
+  /// Element-wise max with a received stamp (no-op for empty stamps).
+  void merge(std::span<const std::uint32_t> stamp) {
+    const std::size_t n = stamp.size() < c_.size() ? stamp.size() : c_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stamp[i] > c_[i]) c_[i] = stamp[i];
+    }
+  }
+
+  /// Replace this clock with a join result (barrier adoption).
+  void adopt(const VectorClock& join) { c_ = join.c_; }
+
+  [[nodiscard]] std::span<const std::uint32_t> view() const { return c_; }
+  [[nodiscard]] Stamp snapshot() const { return c_; }
+  [[nodiscard]] std::uint32_t component(int rank) const {
+    return c_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::size_t size() const { return c_.size(); }
+
+ private:
+  Stamp c_;
+};
+
+/// A pending message's identity plus its piggybacked stamp — what the fence
+/// check inspects (copied out under the mailbox lock).
+struct StampedMessage {
+  int src = 0;
+  int tag = 0;
+  Stamp stamp;
+};
+
+}  // namespace hpfcg::race

@@ -1,0 +1,66 @@
+#pragma once
+// Schedule-perturbation replay harness.
+//
+// The completeness argument for a message-passing program is not "no race
+// fired on the schedule we happened to see" but "no *reachable* schedule
+// changes the answer, or every schedule that could is flagged".  This
+// harness approximates the ISP/MUST exploration loop with randomized
+// adversarial delivery: it runs one workload N+1 times — run 0 with the
+// mailbox's deterministic oldest-first delivery (the baseline), runs 1..N
+// with a nonzero replay seed so every any-source match picks uniformly
+// among the eligible per-source heads — and classifies each perturbed run:
+//
+//   * identical  — bit-identical signature to the baseline (the common case
+//     for deterministic solvers: per-(src,tag) FIFO is preserved by
+//     construction, so programs that never race are replay-invariant);
+//   * flagged    — signature diverged and the detector reported at least
+//     one race in the baseline or the diverging run;
+//   * unflagged  — signature diverged with no race reported anywhere: a
+//     detector completeness bug, the one outcome that must never happen.
+//
+// The harness is deliberately msg-agnostic: callers hand it a closure that
+// builds a machine, runs a solve under the given replay seed, and returns a
+// result signature plus the run's race count.  (The race library sits below
+// msg in the dependency order, so it cannot run machines itself.)
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hpfcg::race {
+
+/// Outcome of a single replayed run, as reported by the caller's closure.
+struct ReplayRun {
+  std::uint64_t signature = 0;  ///< bit-signature of the numerical result
+  std::size_t races = 0;        ///< races the detector flagged during the run
+};
+
+/// Closure contract: execute the workload once with `seed` as the replay
+/// seed (0 = unperturbed baseline) and detection enabled.
+using ReplayFn = std::function<ReplayRun(std::uint64_t seed)>;
+
+/// Aggregate verdict over one baseline plus `runs` perturbed replays.
+struct ReplayReport {
+  ReplayRun baseline;
+  std::vector<std::uint64_t> seeds;  ///< the perturbed seeds, in run order
+  std::vector<ReplayRun> perturbed;  ///< one entry per perturbed run
+  std::size_t identical = 0;
+  std::size_t flagged_divergences = 0;
+  std::size_t unflagged_divergences = 0;
+
+  /// The completeness property: every perturbed run either reproduced the
+  /// baseline bit-for-bit or was flagged by the detector.
+  [[nodiscard]] bool complete() const { return unflagged_divergences == 0; }
+
+  /// Strict determinism: every perturbed run reproduced the baseline.
+  [[nodiscard]] bool deterministic() const {
+    return identical == perturbed.size();
+  }
+};
+
+/// Run the replay loop: one baseline (seed 0) plus `runs` perturbed runs
+/// with distinct nonzero sub-seeds derived from `base_seed` via SplitMix64.
+[[nodiscard]] ReplayReport perturbed_replay(int runs, std::uint64_t base_seed,
+                                            const ReplayFn& run_one);
+
+}  // namespace hpfcg::race

@@ -1,0 +1,36 @@
+#include "hpfcg/race/replay.hpp"
+
+#include "hpfcg/util/error.hpp"
+#include "hpfcg/util/rng.hpp"
+
+namespace hpfcg::race {
+
+ReplayReport perturbed_replay(int runs, std::uint64_t base_seed,
+                              const ReplayFn& run_one) {
+  HPFCG_REQUIRE(runs >= 0, "perturbed_replay: negative run count");
+  HPFCG_REQUIRE(static_cast<bool>(run_one), "perturbed_replay: empty closure");
+
+  ReplayReport report;
+  report.baseline = run_one(0);
+
+  util::SplitMix64 mix(base_seed ^ 0xd1b54a32d192ed03ULL);
+  report.seeds.reserve(static_cast<std::size_t>(runs));
+  report.perturbed.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    std::uint64_t seed = mix.next();
+    if (seed == 0) seed = 1;  // 0 means "unperturbed"; never hand it out
+    report.seeds.push_back(seed);
+    const ReplayRun run = run_one(seed);
+    report.perturbed.push_back(run);
+    if (run.signature == report.baseline.signature) {
+      ++report.identical;
+    } else if (run.races > 0 || report.baseline.races > 0) {
+      ++report.flagged_divergences;
+    } else {
+      ++report.unflagged_divergences;
+    }
+  }
+  return report;
+}
+
+}  // namespace hpfcg::race

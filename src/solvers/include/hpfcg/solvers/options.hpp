@@ -1,7 +1,9 @@
 #pragma once
 // Shared iterative-solver configuration and reporting types.
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace hpfcg::solvers {
@@ -34,6 +36,28 @@ struct SolveResult {
   double relative_residual = 0.0;
   /// Per-iteration ||r||_2 (filled only when track_residuals).
   std::vector<double> residual_history;
+
+  /// Bit-exact fingerprint of the solve's observable trajectory: FNV-1a
+  /// over the raw bits of every recorded residual plus the iteration count,
+  /// convergence, and exit residual.  Two solves are replay-equivalent iff
+  /// their signatures match — the comparison currency of the hpfcg::race
+  /// schedule-perturbation replayer (solve with track_residuals so the
+  /// whole trajectory is pinned, not just the endpoint).
+  [[nodiscard]] std::uint64_t residual_signature() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    for (const double r : residual_history) mix(std::bit_cast<std::uint64_t>(r));
+    mix(static_cast<std::uint64_t>(iterations));
+    mix(static_cast<std::uint64_t>(converged) |
+        (static_cast<std::uint64_t>(breakdown) << 1));
+    mix(std::bit_cast<std::uint64_t>(relative_residual));
+    return h;
+  }
 };
 
 }  // namespace hpfcg::solvers

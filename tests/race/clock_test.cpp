@@ -1,0 +1,130 @@
+// Vector-clock algebra: the happens-before partial order must be exactly
+// the textbook one (element-wise <= with inequality), empty stamps must act
+// as the bottom element, and the replay harness must classify runs by the
+// identical / flagged / unflagged trichotomy.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hpfcg/race/clock.hpp"
+#include "hpfcg/race/replay.hpp"
+
+namespace race = hpfcg::race;
+using race::Order;
+using race::Stamp;
+using race::VectorClock;
+
+TEST(RaceClock, CompareIsTheTextbookPartialOrder) {
+  const Stamp a{1, 2, 3};
+  const Stamp b{1, 2, 3};
+  const Stamp c{2, 2, 3};  // a <= c, a != c
+  const Stamp d{0, 5, 0};  // incomparable with a
+
+  EXPECT_EQ(race::compare(a, b), Order::kEqual);
+  EXPECT_EQ(race::compare(a, c), Order::kBefore);
+  EXPECT_EQ(race::compare(c, a), Order::kAfter);
+  EXPECT_EQ(race::compare(a, d), Order::kConcurrent);
+  EXPECT_EQ(race::compare(d, a), Order::kConcurrent);
+
+  EXPECT_TRUE(race::concurrent(a, d));
+  EXPECT_FALSE(race::concurrent(a, c));
+  EXPECT_TRUE(race::dominated(a, c));
+  EXPECT_TRUE(race::dominated(a, b));
+  EXPECT_FALSE(race::dominated(c, a));
+}
+
+TEST(RaceClock, EmptyStampIsTheBottomElement) {
+  const Stamp empty;
+  const Stamp some{3, 1};
+  EXPECT_EQ(race::compare(empty, empty), Order::kEqual);
+  EXPECT_EQ(race::compare(empty, some), Order::kBefore);
+  EXPECT_EQ(race::compare(some, empty), Order::kAfter);
+  EXPECT_TRUE(race::dominated(empty, some));
+  EXPECT_FALSE(race::concurrent(empty, some));
+}
+
+TEST(RaceClock, TickMergeAdoptFollowTheAlgebra) {
+  VectorClock c0(3);
+  VectorClock c1(3);
+  c0.tick(0);
+  c0.tick(0);
+  c1.tick(1);
+  EXPECT_EQ(c0.component(0), 2u);
+  EXPECT_EQ(c1.component(1), 1u);
+
+  // A receive on rank 1 of rank 0's stamp: element-wise max, caller ticks.
+  c1.merge(c0.view());
+  c1.tick(1);
+  EXPECT_EQ(c1.component(0), 2u);
+  EXPECT_EQ(c1.component(1), 2u);
+  // Now c0's stamp happens-before c1's.
+  EXPECT_TRUE(race::dominated(c0.view(), c1.view()));
+
+  // Barrier adoption: both clocks equal the join afterwards.
+  VectorClock join(3);
+  join.merge(c0.view());
+  join.merge(c1.view());
+  c0.adopt(join);
+  c1.adopt(join);
+  EXPECT_EQ(race::compare(c0.view(), c1.view()), Order::kEqual);
+
+  // Merging an empty stamp (a message sent with detection off) is a no-op.
+  const Stamp snap = c0.snapshot();
+  c0.merge(Stamp{});
+  EXPECT_EQ(race::compare(c0.view(), snap), Order::kEqual);
+}
+
+// ---- replay harness classification ------------------------------------
+
+TEST(RaceReplay, ClassifiesIdenticalFlaggedAndUnflaggedRuns) {
+  // Synthetic closure: seed 0 (baseline) returns signature 100 with no
+  // races; the first two perturbed runs diverge with a race flagged, the
+  // third diverges silently, the rest reproduce the baseline.
+  int call = 0;
+  const auto report = race::perturbed_replay(5, 42, [&](std::uint64_t seed) {
+    race::ReplayRun run;
+    if (seed == 0) {
+      run.signature = 100;
+      return run;
+    }
+    ++call;
+    if (call <= 2) {
+      run.signature = 200;
+      run.races = 1;
+    } else if (call == 3) {
+      run.signature = 300;  // diverged, nothing flagged
+    } else {
+      run.signature = 100;
+    }
+    return run;
+  });
+
+  EXPECT_EQ(report.baseline.signature, 100u);
+  ASSERT_EQ(report.perturbed.size(), 5u);
+  EXPECT_EQ(report.identical, 2u);
+  EXPECT_EQ(report.flagged_divergences, 2u);
+  EXPECT_EQ(report.unflagged_divergences, 1u);
+  EXPECT_FALSE(report.complete());
+  EXPECT_FALSE(report.deterministic());
+
+  // Sub-seeds are distinct, nonzero, and deterministic in base_seed.
+  for (const std::uint64_t s : report.seeds) EXPECT_NE(s, 0u);
+  const auto again = race::perturbed_replay(
+      5, 42, [](std::uint64_t) { return race::ReplayRun{1, 0}; });
+  EXPECT_EQ(report.seeds, again.seeds);
+  EXPECT_TRUE(again.deterministic());
+  EXPECT_TRUE(again.complete());
+}
+
+TEST(RaceReplay, BaselineRacesAloneMarkDivergenceFlagged) {
+  // A divergence counts as flagged when the *baseline* reported the race,
+  // even if the perturbed run itself did not.
+  const auto report = race::perturbed_replay(1, 7, [](std::uint64_t seed) {
+    if (seed == 0) return race::ReplayRun{1, 3};
+    return race::ReplayRun{2, 0};
+  });
+  EXPECT_EQ(report.flagged_divergences, 1u);
+  EXPECT_TRUE(report.complete());
+}
