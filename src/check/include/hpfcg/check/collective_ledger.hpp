@@ -39,6 +39,14 @@ enum class CollectiveKind : std::uint8_t {
   kGatherv,
   kScatterv,
   kAlltoallv,
+  /// Sender-described sparse personalized all-to-all (halo plan builds):
+  /// per-pair counts are exchanged in a header pass, so only kind and
+  /// element size are conformable.
+  kNeighborAlltoallv,
+  /// Cached halo-executor exchange (sparse::HaloPlan): `count` carries the
+  /// plan's replicated topology fingerprint, so a rank executing a stale
+  /// or divergent plan is named by the ledger.
+  kHaloExchange,
   kExscan,
   kSequential,
   /// Not a communication op: asserts a structure every rank builds locally

@@ -18,6 +18,8 @@ const char* to_string(CollectiveKind k) {
     case CollectiveKind::kGatherv: return "gatherv";
     case CollectiveKind::kScatterv: return "scatterv";
     case CollectiveKind::kAlltoallv: return "alltoallv";
+    case CollectiveKind::kNeighborAlltoallv: return "neighbor_alltoallv";
+    case CollectiveKind::kHaloExchange: return "halo_exchange";
     case CollectiveKind::kExscan: return "exscan";
     case CollectiveKind::kSequential: return "sequential";
     case CollectiveKind::kReplicatedBuild: return "replicated_build";

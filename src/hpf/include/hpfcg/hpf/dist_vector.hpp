@@ -91,6 +91,15 @@ class DistributedVector {
   /// index order.  This is the all-to-all broadcast of Section 4 whose cost
   /// the paper analyses; the caller pays `allgather` communication.
   [[nodiscard]] std::vector<T> to_global() const {
+    // The legacy/naive O(n) materialization (Scenario 1 as HPF-1 lowers
+    // it).  The explicit span and gather_bytes counter keep the
+    // gathered-vs-halo byte comparison honest in the bench tables: every
+    // call delivers the whole vector minus this rank's block, regardless
+    // of how few entries the caller actually reads.
+    trace::SpanScope span(proc_->tracer_rank(), trace::SpanKind::kGatherFull,
+                          0, size() * sizeof(T), proc_->tree_depth());
+    proc_->stats().gather_bytes +=
+        (size() - local().size()) * sizeof(T);
     std::vector<T> gathered;
     proc_->allgatherv<T>(local(), gathered, dist_->counts());
     if (dist_->contiguous()) return gathered;  // already in global order

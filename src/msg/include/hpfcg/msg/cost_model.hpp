@@ -101,6 +101,16 @@ class CostModel {
   /// Barrier modeled as a zero-byte all-reduce.
   [[nodiscard]] double barrier_time() const;
 
+  /// One cached halo exchange: `neighbors` point-to-point messages carrying
+  /// `bytes` of boundary payload in total —
+  ///   neighbors * (t_s + t_hop) + bytes * t_c.
+  /// Compare against allgather_time(n/P * elem): the inspector/executor
+  /// replaces the O(n) per-rank gather with an O(boundary) exchange, so the
+  /// byte term shrinks from ~n*elem to the ghost-set size and the start-up
+  /// term from P-1 to the neighbor count.
+  [[nodiscard]] double halo_exchange_time(std::size_t neighbors,
+                                          std::size_t bytes) const;
+
  private:
   [[nodiscard]] int log2_ceil_procs() const;
 

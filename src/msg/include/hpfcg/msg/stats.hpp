@@ -31,6 +31,17 @@ struct Stats {
   /// batching factor reduction_values / reductions is visible.
   std::uint64_t reduction_values = 0;
 
+  /// Halo-executor traffic (sparse::HaloPlan): point-to-point messages and
+  /// payload bytes this rank *sent* through a cached ghost-exchange plan,
+  /// and ghost entries materialized at plan build.  The halo/gather
+  /// comparison benches difference these against `gather_bytes` — the
+  /// foreign bytes a full `to_global()` gather delivered to this rank — so
+  /// the O(boundary) vs O(n) claim is measured in one currency.
+  std::uint64_t halo_msgs = 0;
+  std::uint64_t halo_bytes = 0;
+  std::uint64_t ghost_entries = 0;
+  std::uint64_t gather_bytes = 0;
+
   /// Envelope storage path per message sent: inline (≤64 B payload),
   /// drawn from the destination mailbox's buffer pool, or the tracked
   /// heap fallback when the bounded pool is exhausted (or pooling is
@@ -67,6 +78,10 @@ struct Stats {
     collectives += o.collectives;
     reductions += o.reductions;
     reduction_values += o.reduction_values;
+    halo_msgs += o.halo_msgs;
+    halo_bytes += o.halo_bytes;
+    ghost_entries += o.ghost_entries;
+    gather_bytes += o.gather_bytes;
     envelopes_inline += o.envelopes_inline;
     envelopes_pooled += o.envelopes_pooled;
     envelopes_heap += o.envelopes_heap;

@@ -116,4 +116,10 @@ double CostModel::allgather_time(std::size_t bytes_per_rank) const {
 
 double CostModel::barrier_time() const { return allreduce_time(0); }
 
+double CostModel::halo_exchange_time(std::size_t neighbors,
+                                     std::size_t bytes) const {
+  return static_cast<double>(neighbors) * (params_.t_startup + params_.t_hop) +
+         static_cast<double>(bytes) * params_.t_comm;
+}
+
 }  // namespace hpfcg::msg

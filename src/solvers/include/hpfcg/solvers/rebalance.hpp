@@ -83,6 +83,12 @@ RebalanceHook make_csr_rebalancer(
     const auto target = hpf::Distribution::from_cuts(mat.n(), cuts);
     if (target == mat.row_dist()) return nullptr;
     mat = sparse::redistribute(mat, cuts);
+    // Migration built a fresh matrix, so the cached halo plan is gone;
+    // rebuild it here (collectively — the cut decision is replicated, so
+    // every rank takes this branch together) so the inspector cost lands
+    // inside the rebalance step instead of silently extending the next
+    // matvec.
+    mat.prepare_halo();
     if (on_migrate) on_migrate(mat.row_dist_ptr());
     return mat.row_dist_ptr();
   };

@@ -26,6 +26,7 @@
 #include "hpfcg/hpf/distribution.hpp"
 #include "hpfcg/msg/process.hpp"
 #include "hpfcg/sparse/csr.hpp"
+#include "hpfcg/sparse/halo.hpp"
 #include "hpfcg/sparse/nnz_exchange.hpp"
 #include "hpfcg/util/error.hpp"
 
@@ -248,11 +249,40 @@ class DistCsr {
   void enable_caching() { caching_ = true; }
 
   /// q = A * p.  Both vectors must be distributed like the rows.
-  /// Communication: one all-to-all broadcast of p (Scenario 1) plus the
-  /// executor fetch for any nnz the rank's rows do not own.
+  /// Default path (HPFCG_HALO on): the cached HaloPlan executor — exchange
+  /// only the O(boundary) ghost entries this rank's columns touch, then
+  /// sweep through the [owned | ghost] compact numbering.  Legacy path
+  /// (HPFCG_HALO=0): one all-to-all broadcast of p (Scenario 1 as HPF-1
+  /// lowers it).  Both paths accumulate each row's entries in identical k
+  /// order, so their results are bit-identical.
   void matvec(const hpf::DistributedVector<T>& p,
               hpf::DistributedVector<T>& q) {
     check_vectors(p, q);
+    if (use_halo()) {
+      assemble();
+      audit_structure();
+      ensure_halo();
+      const std::size_t nl = local_rows();
+      x_halo_.resize(nl + halo_.n_ghosts());
+      std::copy(p.local().begin(), p.local().end(), x_halo_.begin());
+      halo_.exchange<T>(*proc_, p.local(),
+                        std::span<T>(x_halo_).subspan(nl), halo_pack_);
+      const std::size_t base = plan_.needed().begin;
+      auto ql = q.local();
+      std::size_t flops = 0;
+      for (std::size_t lr = 0; lr < nl; ++lr) {
+        T acc{};
+        const std::size_t lo = row_ptr_[lr];
+        const std::size_t hi = row_ptr_[lr + 1];
+        for (std::size_t k = lo; k < hi; ++k) {
+          acc += val_w_[k - base] * x_halo_[col_local_[k - base]];
+        }
+        ql[lr] = acc;
+        flops += 2 * (hi - lo);
+      }
+      proc_->add_flops(flops);
+      return;
+    }
     const std::vector<T> full_p = p.to_global();
     assemble();
     audit_structure();
@@ -275,29 +305,92 @@ class DistCsr {
   /// q = A^T * p.  With row-wise storage the transpose product is a
   /// many-to-one accumulation (each local row scatters into q's columns) —
   /// the merge pattern of Scenario 2.  This is the operation that makes
-  /// BiCG "negate" row-storage optimisations (Section 2.1): it costs an
-  /// n-length merge instead of Scenario 1's broadcast.
+  /// BiCG "negate" row-storage optimisations (Section 2.1).  The halo path
+  /// accumulates into the compact [owned | ghost] scratch and ships only
+  /// the ghost *partials* back to their owners (an owner-targeted
+  /// scatter/accumulate); the legacy path pays the full n-length merge.
   void matvec_transpose(const hpf::DistributedVector<T>& p,
                         hpf::DistributedVector<T>& q) {
     check_vectors(p, q);
     assemble();
     audit_structure();
     const std::size_t base = plan_.needed().begin;
-    std::vector<T> q_priv(n_, T{});
+    auto ql = q.local();
+    if (use_halo()) {
+      ensure_halo();
+      const std::size_t nl = local_rows();
+      zero_scratch(transpose_scratch_, nl + halo_.n_ghosts());
+      std::size_t flops = 0;
+      for (std::size_t lr = 0; lr < nl; ++lr) {
+        const T pi = p.local()[lr];
+        const std::size_t lo = row_ptr_[lr];
+        const std::size_t hi = row_ptr_[lr + 1];
+        for (std::size_t k = lo; k < hi; ++k) {
+          transpose_scratch_[col_local_[k - base]] += val_w_[k - base] * pi;
+        }
+        flops += 2 * (hi - lo);
+      }
+      proc_->add_flops(flops);
+      const std::span<T> scratch(transpose_scratch_.data(),
+                                 nl + halo_.n_ghosts());
+      halo_.accumulate<T>(*proc_, scratch.subspan(nl), scratch.first(nl),
+                          halo_pack_);
+      std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(
+                                                       ql.size()),
+                ql.begin());
+      return;
+    }
+    zero_scratch(transpose_scratch_, n_);
     std::size_t flops = 0;
     for (std::size_t lr = 0; lr < local_rows(); ++lr) {
       const T pi = p.local()[lr];
       const std::size_t lo = row_ptr_[lr];
       const std::size_t hi = row_ptr_[lr + 1];
       for (std::size_t k = lo; k < hi; ++k) {
-        q_priv[col_w_[k - base]] += val_w_[k - base] * pi;
+        transpose_scratch_[col_w_[k - base]] += val_w_[k - base] * pi;
       }
       flops += 2 * (hi - lo);
     }
     proc_->add_flops(flops);
-    proc_->allreduce_vec(q_priv);
-    auto ql = q.local();
-    for (std::size_t l = 0; l < ql.size(); ++l) ql[l] = q_priv[q.global_of(l)];
+    proc_->allreduce_vec(transpose_scratch_);
+    for (std::size_t l = 0; l < ql.size(); ++l) {
+      ql[l] = transpose_scratch_[q.global_of(l)];
+    }
+  }
+
+  /// The cached ghost-exchange schedule (empty until the first halo sweep).
+  [[nodiscard]] const HaloPlan& halo_plan() const { return halo_; }
+
+  /// True when this matrix's sweeps run the halo executor.  The toggle is
+  /// sampled once per matrix, at the first sweep, so a matrix never mixes
+  /// half-built halo state with gather sweeps.
+  [[nodiscard]] bool halo_active() {
+    return use_halo();
+  }
+
+  /// Collective warm build of the halo plan (no-op when already built or
+  /// when the executor is off).  The rebalance hook calls this right after
+  /// a migration so the rebuild lands inside the rebalance step instead of
+  /// silently extending the next matvec.
+  void prepare_halo() {
+    if (!use_halo()) return;
+    assemble();
+    ensure_halo();
+  }
+
+  /// Drop the cached plan and re-sample the toggle; the plan is rebuilt
+  /// collectively at the next sweep.  Migration paths get this for free
+  /// (they construct a fresh matrix); tests use it for A/B switching.
+  void invalidate_halo() {
+    halo_.invalidate();
+    col_local_.clear();
+    halo_mode_ = -1;
+  }
+
+  /// Times the transpose scratch grew (tests pin this to 1 across repeated
+  /// sweeps — the buffer is hoisted, not reallocated per call).
+  [[nodiscard]] std::uint64_t transpose_scratch_allocations() const {
+    return scratch_allocations_;
   }
 
  private:
@@ -362,6 +455,38 @@ class DistCsr {
                   "DistCsr::matvec: vectors must be aligned with the rows");
   }
 
+  /// Sample the halo toggle once per matrix (first sweep decides).  The
+  /// executor needs a contiguous row map to turn ownership into ranges;
+  /// anything else falls back to the gather path.
+  [[nodiscard]] bool use_halo() {
+    if (halo_mode_ < 0) {
+      halo_mode_ = (halo::enabled() && row_dist_->contiguous()) ? 1 : 0;
+    }
+    return halo_mode_ == 1;
+  }
+
+  /// Collective lazy build: run the inspector over the assembled column
+  /// window and remap it into the compact [owned | ghost] numbering.  All
+  /// ranks reach the first sweep together, so the collective is aligned.
+  /// Requires assemble() to have run (col_w_ holds the window; its values
+  /// are immutable across re-fetches, so the remap stays valid even for
+  /// uncached HPF-1 layouts).
+  void ensure_halo() {
+    if (halo_.built()) return;
+    halo_.build(*proc_, std::span<const std::size_t>(col_w_), *row_dist_);
+    col_local_.resize(col_w_.size());
+    for (std::size_t i = 0; i < col_w_.size(); ++i) {
+      col_local_[i] = halo_.local_index(col_w_[i]);
+    }
+  }
+
+  /// Zero `buf` to exactly `m` elements, growing at most once over the
+  /// matrix's lifetime (counted, so tests can pin the allocation count).
+  void zero_scratch(std::vector<T>& buf, std::size_t m) {
+    if (buf.capacity() < m) ++scratch_allocations_;
+    buf.assign(m, T{});
+  }
+
   /// Run the executor unless the cache already holds the window.
   void assemble() {
     if (caching_ && assembled_) return;
@@ -413,6 +538,17 @@ class DistCsr {
   bool caching_ = false;
   bool assembled_ = false;
   bool audited_ = false;  ///< hpfcg::check: window validated since assembly
+
+  // Halo-executor state.  Plain values: the rebalance hook copy-assigns
+  // matrices, and a copied plan stays valid while the ownership map does
+  // (a real migration builds a fresh object, so the plan resets there).
+  HaloPlan halo_;
+  int halo_mode_ = -1;  ///< -1 undecided, 0 gather, 1 halo (set at 1st sweep)
+  std::vector<std::size_t> col_local_;  ///< col_w_ in [owned | ghost] numbering
+  std::vector<T> x_halo_;               ///< [owned | ghost] sweep buffer
+  std::vector<T> halo_pack_;            ///< executor pack/unpack scratch
+  std::vector<T> transpose_scratch_;    ///< hoisted transpose accumulator
+  std::uint64_t scratch_allocations_ = 0;
 };
 
 }  // namespace hpfcg::sparse

@@ -18,6 +18,14 @@
 // live with its owner) with caching enabled, and its new ownership map is
 // registered with the hpfcg::check ledger; the exchange runs under a
 // trace::kRedistribute span so cost accounting survives the swap.
+//
+// Halo invalidation: a migration changes the ownership map, so any cached
+// HaloPlan is stale by construction.  This falls out of the structure —
+// from_local_rows returns a *fresh* DistCsr whose plan is empty, and the
+// next sweep (or solvers::make_csr_rebalancer's explicit prepare_halo())
+// rebuilds it collectively against the new cuts.  The identical-target
+// short-circuit below returns a copy of `src` whose plan is still valid,
+// because the ownership map it was built against is unchanged.
 
 #include <cstddef>
 #include <cstring>

@@ -47,6 +47,12 @@ enum class SpanKind : std::uint8_t {
   // data migration (sparse::redistribute / hpf::redistribute callers):
   // bytes = payload this rank shipped, a = destination count
   kRedistribute,
+  // sparse halo executor (sparse::HaloPlan): one cached ghost exchange;
+  // bytes = payload this rank sent, a = neighbor count, aux = 1 for the
+  // reverse (transpose scatter/accumulate) direction
+  kHalo,
+  // legacy O(n) gather (DistributedVector::to_global): bytes = full vector
+  kGatherFull,
 };
 
 /// Human-readable span kind (stable names; used by the Chrome exporter).

@@ -26,6 +26,8 @@ int lane_of(SpanKind k) {
     case SpanKind::kAlltoallv:
     case SpanKind::kExscan:
     case SpanKind::kSequential:
+    case SpanKind::kHalo:
+    case SpanKind::kGatherFull:
       return 0;
     case SpanKind::kDot:
     case SpanKind::kDotBatch:

@@ -28,6 +28,8 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kPrecond: return "precond";
     case SpanKind::kIteration: return "iteration";
     case SpanKind::kRedistribute: return "redistribute";
+    case SpanKind::kHalo: return "halo";
+    case SpanKind::kGatherFull: return "gather_full";
   }
   return "?";
 }

@@ -78,27 +78,30 @@ TEST_P(DescriptorTest, RedistributeUsingKeepsTrioConsistent) {
 
 TEST_P(DescriptorTest, RepeatedSweepsDoNotRefetch) {
   // The descriptor's locality rule: the trio is immutable, so after the
-  // first sweep no further nnz communication happens (atom partitions need
-  // none at all; the invariant still holds).
+  // first sweep no further trio (or halo-plan) communication happens —
+  // every sweep past the first costs exactly the same marginal bytes.
+  // Measured as linearity of the steady state: the first sweep may carry
+  // one-time setup traffic (the halo inspector's index exchange), but
+  // sweeps 2..5 must all cost what sweep 2 cost, and no more than a full
+  // first sweep (which would mean re-fetching).
   const int np = GetParam();
   const auto a = hpfcg::sparse::random_spd(90, 5, 41);
-  auto rt1 = run_spmd(np, [&](Process& proc) {
-    SparseMatrixCsr<double> sm(proc, a);
-    auto p = sm.make_vector();
-    auto q = sm.make_vector();
-    p.set_from(pval);
-    sm.dist().matvec(p, q);
-  });
-  auto rt2 = run_spmd(np, [&](Process& proc) {
-    SparseMatrixCsr<double> sm(proc, a);
-    auto p = sm.make_vector();
-    auto q = sm.make_vector();
-    p.set_from(pval);
-    for (int sweep = 0; sweep < 5; ++sweep) sm.dist().matvec(p, q);
-  });
-  // 5 sweeps must cost exactly 5x the p-broadcast of 1 sweep — no extra
-  // trio traffic (which would make it super-linear).
-  EXPECT_EQ(rt2->total_stats().bytes_sent, 5 * rt1->total_stats().bytes_sent);
+  const auto bytes_for = [&](int sweeps) {
+    auto rt = run_spmd(np, [&](Process& proc) {
+      SparseMatrixCsr<double> sm(proc, a);
+      auto p = sm.make_vector();
+      auto q = sm.make_vector();
+      p.set_from(pval);
+      for (int sweep = 0; sweep < sweeps; ++sweep) sm.dist().matvec(p, q);
+    });
+    return rt->total_stats().bytes_sent;
+  };
+  const std::uint64_t b1 = bytes_for(1);
+  const std::uint64_t b2 = bytes_for(2);
+  const std::uint64_t b5 = bytes_for(5);
+  const std::uint64_t marginal = b2 - b1;
+  EXPECT_EQ(b5 - b1, 4 * marginal);  // sweeps 2..5 all cost the same
+  EXPECT_LE(marginal, b1);           // and never more than a first sweep
 }
 
 INSTANTIATE_TEST_SUITE_P(MachineSizes, DescriptorTest,

@@ -21,6 +21,7 @@
 #include "hpfcg/solvers/preconditioner.hpp"
 #include "hpfcg/sparse/dist_csr.hpp"
 #include "hpfcg/sparse/generators.hpp"
+#include "hpfcg/sparse/halo.hpp"
 #include "spmd_test_util.hpp"
 
 namespace race = hpfcg::race;
@@ -128,6 +129,49 @@ TEST_P(RaceReplaySolverTest, CgFusedIsReplayInvariant) {
   // Bit-identical residual histories across all 50 perturbed schedules,
   // and nothing flagged: the solver's receives are all directed or
   // collective — there is no match order to race on.
+  EXPECT_TRUE(report.deterministic())
+      << report.identical << "/" << report.perturbed.size() << " identical";
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.baseline.races, 0u);
+}
+
+TEST_P(RaceReplaySolverTest, HaloCgFusedIsReplayInvariant) {
+  // The halo-exchange matvec path: the inspector's index exchange and every
+  // executor sweep post *directed* per-source receives on fixed tags, so no
+  // wildcard match order exists for the adversarial scheduler to permute —
+  // 20 perturbed schedules must reproduce the baseline residual history
+  // bit for bit with zero flagged races.
+  const int np = GetParam();
+  const auto a = sp::laplacian_2d(9, 8);
+  const auto b_full = sp::random_rhs(a.n_rows(), 61);
+
+  const auto report = race::perturbed_replay(
+      20, 0x4a10u + static_cast<std::uint64_t>(np),
+      [&](std::uint64_t seed) {
+        hpfcg::sparse::halo::ScopedEnable halo_on(true);
+        race::ScopedEnable on;
+        race::ScopedReplaySeed replay(seed);
+        Runtime rt(np);
+        race::ReplayRun run;
+        rt.run([&](Process& p) {
+          auto dist = share(Distribution::block(a.n_rows(), p.nprocs()));
+          auto mat = sp::DistCsr<double>::row_aligned(p, a, dist);
+          DistributedVector<double> b(p, dist), x(p, dist);
+          b.from_global(b_full);
+          const sv::DistOp<double> op =
+              [&](const DistributedVector<double>& q,
+                  DistributedVector<double>& out) { mat.matvec(q, out); };
+          const auto res = sv::cg_fused_dist<double>(
+              op, b, x, {.rel_tolerance = 1e-10, .track_residuals = true});
+          if (p.rank() == 0) {
+            run.signature = res.residual_signature();
+            EXPECT_TRUE(mat.halo_active());
+          }
+        });
+        run.races = rt.racer()->race_count();
+        return run;
+      });
+
   EXPECT_TRUE(report.deterministic())
       << report.identical << "/" << report.perturbed.size() << " identical";
   EXPECT_TRUE(report.complete());
