@@ -49,6 +49,12 @@ enum class CollectiveKind : std::uint8_t {
   kHaloExchange,
   kExscan,
   kSequential,
+  /// Reproducible-mode sum reduction (hpfcg::repro): the exact
+  /// superaccumulator all-reduce that replaces the float merge tree.
+  /// `count` is the batch width, like kAllreduceBatch, so a rank that
+  /// disagrees on whether the mode is on — or on how many values it merged
+  /// — is named by the ledger instead of deadlocking on mismatched trees.
+  kReproReduce,
   /// Not a communication op: asserts a structure every rank builds locally
   /// (e.g. a replicated matrix) is identical machine-wide.  `count` carries
   /// a content fingerprint instead of an element count.

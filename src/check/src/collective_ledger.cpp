@@ -22,6 +22,7 @@ const char* to_string(CollectiveKind k) {
     case CollectiveKind::kHaloExchange: return "halo_exchange";
     case CollectiveKind::kExscan: return "exscan";
     case CollectiveKind::kSequential: return "sequential";
+    case CollectiveKind::kReproReduce: return "repro_reduce";
     case CollectiveKind::kReplicatedBuild: return "replicated_build";
   }
   return "?";

@@ -16,8 +16,10 @@
 #include <cmath>
 #include <limits>
 #include <span>
+#include <vector>
 
 #include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/repro/superacc.hpp"
 #include "hpfcg/trace/span.hpp"
 #include "hpfcg/util/span_math.hpp"
 
@@ -35,14 +37,28 @@ void require_aligned(const DistributedVector<T>& a,
 /// DOT_PRODUCT intrinsic: local element-wise products (no communication)
 /// followed by the log-tree merge (allreduce).  Cost per the paper:
 /// O(n/N_P) compute + t_startup*log(N_P) merge.
+///
+/// With the reproducible mode on the local partial sum is accumulated
+/// exactly (TwoProd into a superaccumulator) and merged via allreduce_acc,
+/// so the result is the correctly rounded exact dot product — independent
+/// of NP, tree shape, and block-cut placement.
 template <class T>
 T dot_product(const DistributedVector<T>& x, const DistributedVector<T>& y) {
   detail::require_aligned(x, y, "dot_product");
   trace::SpanScope span(x.proc().tracer_rank(), trace::SpanKind::kDot, 1,
                         x.local().size() * sizeof(T));
+  auto& proc = x.proc();
+  if constexpr (std::is_floating_point_v<T>) {
+    if (proc.repro_active()) {
+      repro::Superacc acc = repro::dot_accumulate<T>(x.local(), y.local());
+      proc.add_flops(2 * x.local().size());
+      proc.allreduce_acc(std::span<repro::Superacc>(&acc, 1));
+      return static_cast<T>(acc.round());
+    }
+  }
   const T local = util::dot_local<T>(x.local(), y.local());
-  x.proc().add_flops(2 * x.local().size());
-  return x.proc().allreduce(local);
+  proc.add_flops(2 * x.local().size());
+  return proc.allreduce(local);
 }
 
 /// One (x, y) operand pair of a fused multi-dot request.
@@ -70,6 +86,29 @@ void dot_products(std::span<const DotPair<T>> pairs, std::span<T> out) {
                         trace::SpanKind::kDotBatch,
                         static_cast<std::uint32_t>(pairs.size()),
                         pairs[0].x->local().size() * sizeof(T));
+  auto& proc = pairs[0].x->proc();
+  if constexpr (std::is_floating_point_v<T>) {
+    if (proc.repro_active()) {
+      // Exact local accumulation per pair, one exact batched merge: still
+      // a single tree walk, and each dot is bit-identical to its scalar
+      // repro dot_product for any NP and any block cuts.
+      std::vector<repro::Superacc> accs(pairs.size());
+      std::uint64_t rflops = 0;
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto& x = *pairs[i].x;
+        const auto& y = *pairs[i].y;
+        detail::require_aligned(x, y, "dot_products");
+        accs[i] = repro::dot_accumulate<T>(x.local(), y.local());
+        rflops += 2 * x.local().size();
+      }
+      proc.add_flops(rflops);
+      proc.allreduce_acc(std::span<repro::Superacc>(accs));
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        out[i] = static_cast<T>(accs[i].round());
+      }
+      return;
+    }
+  }
   std::uint64_t flops = 0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const auto& x = *pairs[i].x;
@@ -78,7 +117,6 @@ void dot_products(std::span<const DotPair<T>> pairs, std::span<T> out) {
     out[i] = util::dot_local<T>(x.local(), y.local());
     flops += 2 * x.local().size();
   }
-  auto& proc = pairs[0].x->proc();
   proc.add_flops(flops);
   proc.allreduce_batch(out);
 }
@@ -111,13 +149,24 @@ std::array<T, 3> dot_products(const DistributedVector<T>& x1,
   return out;
 }
 
-/// SUM intrinsic over a distributed vector.
+/// SUM intrinsic over a distributed vector.  Reproducible mode: the local
+/// loop deposits every element exactly, so the result is the correctly
+/// rounded exact sum regardless of NP or block cuts.
 template <class T>
 T sum(const DistributedVector<T>& x) {
+  auto& proc = x.proc();
+  if constexpr (std::is_floating_point_v<T>) {
+    if (proc.repro_active()) {
+      repro::Superacc acc = repro::sum_accumulate<T>(x.local());
+      proc.add_flops(x.local().size());
+      proc.allreduce_acc(std::span<repro::Superacc>(&acc, 1));
+      return static_cast<T>(acc.round());
+    }
+  }
   T local{};
   for (const auto& v : x.local()) local += v;
-  x.proc().add_flops(x.local().size());
-  return x.proc().allreduce(local);
+  proc.add_flops(x.local().size());
+  return proc.allreduce(local);
 }
 
 /// Two-norm via dot_product.

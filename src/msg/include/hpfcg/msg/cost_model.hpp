@@ -111,6 +111,17 @@ class CostModel {
   [[nodiscard]] double halo_exchange_time(std::size_t neighbors,
                                           std::size_t bytes) const;
 
+  /// Reproducible all-reduce of k values (hpfcg::repro): the batch tree
+  /// walked once with `acc_bytes`-wide exact-accumulator payloads, plus the
+  /// integer limb merge at every reduce level —
+  ///   allreduce_batch_time(k, acc_bytes) + ceil(log2 P)*k*merge_flops*t_f.
+  /// Compared against allreduce_batch_time(k, elem) this prices the mode's
+  /// overhead: wider payloads (the byte term) and the limb adds (the flop
+  /// term), while the start-up count — the dominant term — is unchanged.
+  [[nodiscard]] double repro_allreduce_time(std::size_t k,
+                                            std::size_t acc_bytes,
+                                            std::size_t merge_flops) const;
+
  private:
   [[nodiscard]] int log2_ceil_procs() const;
 

@@ -27,10 +27,21 @@
 #include "hpfcg/check/check.hpp"
 #include "hpfcg/check/harness.hpp"
 #include "hpfcg/msg/runtime.hpp"
+#include "hpfcg/repro/repro.hpp"
+#include "hpfcg/repro/superacc.hpp"
 #include "hpfcg/trace/span.hpp"
 #include "hpfcg/util/error.hpp"
 
 namespace hpfcg::msg {
+
+namespace detail {
+/// True when `Op` is the standard addition functor for `T` — the only
+/// reduction class the reproducible mode re-routes (max/min/loc merges pick
+/// an operand rather than rounding, so they are already order-invariant).
+template <class T, class Op>
+inline constexpr bool kIsPlus =
+    std::is_same_v<Op, std::plus<T>> || std::is_same_v<Op, std::plus<>>;
+}  // namespace detail
 
 /// Handle to one simulated processor inside Runtime::run().
 class Process {
@@ -275,9 +286,20 @@ class Process {
     return value;
   }
 
-  /// All-reduce of one value: reduce to rank 0 then broadcast.
+  /// All-reduce of one value: reduce to rank 0 then broadcast.  With the
+  /// reproducible mode on, floating-point sums route through the exact
+  /// superaccumulator merge instead (see allreduce_acc), so the result is
+  /// the correctly rounded exact sum — identical for every NP and tree.
   template <class T, class Op = std::plus<T>>
   T allreduce(T value, Op op = {}) {
+    if constexpr (std::is_floating_point_v<T> && detail::kIsPlus<T, Op>) {
+      if (repro_active()) {
+        repro::Superacc acc;
+        acc.add(static_cast<double>(value));
+        allreduce_acc(std::span<repro::Superacc>(&acc, 1));
+        return static_cast<T>(acc.round());
+      }
+    }
     race_fence("allreduce");
     value = reduce<T, Op>(0, value, op);
     return broadcast_value<T>(0, value);
@@ -287,6 +309,19 @@ class Process {
   /// This is the merge phase of the paper's PRIVATE ... WITH MERGE(+).
   template <class T, class Op = std::plus<T>>
   void allreduce_vec(std::vector<T>& buf, Op op = {}) {
+    if constexpr (std::is_floating_point_v<T> && detail::kIsPlus<T, Op>) {
+      if (repro_active()) {
+        std::vector<repro::Superacc> accs(buf.size());
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          accs[i].add(static_cast<double>(buf[i]));
+        }
+        allreduce_acc(std::span<repro::Superacc>(accs));
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          buf[i] = static_cast<T>(accs[i].round());
+        }
+        return;
+      }
+    }
     const int p = nprocs();
     conform(check::CollectiveKind::kAllreduceVec, check::kNoRoot, sizeof(T),
             buf.size());
@@ -304,7 +339,7 @@ class Process {
       if ((rank_ & mask) == 0) {
         const int partner = rank_ | mask;
         if (partner < p) {
-          std::vector<T> other(n);
+          const std::span<T> other = coll_scratch<T>(n);
           recv_into<T>(partner, coll_tag(seq, 0), other);
           for (std::size_t i = 0; i < n; ++i) buf[i] = op(buf[i], other[i]);
           add_flops(n);
@@ -351,6 +386,22 @@ class Process {
   /// reduction booked, Stats untouched.
   template <class T, class Op = std::plus<T>>
   void allreduce_batch(std::span<T> vals, Op op = {}) {
+    if constexpr (std::is_floating_point_v<T> && detail::kIsPlus<T, Op>) {
+      if (repro_active()) {
+        // Same batched tree, exact payloads: the batch stays bit-identical
+        // to vals.size() scalar repro allreduces because each value's exact
+        // sum is independent of its neighbors in the batch.
+        BatchBuffer<repro::Superacc> accs(vals.size());
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+          accs.span()[i].add(static_cast<double>(vals[i]));
+        }
+        allreduce_acc(accs.span());
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+          vals[i] = static_cast<T>(accs.span()[i].round());
+        }
+        return;
+      }
+    }
     const int p = nprocs();
     conform(check::CollectiveKind::kAllreduceBatch, check::kNoRoot, sizeof(T),
             vals.size());
@@ -400,6 +451,89 @@ class Process {
       }
       mask2 >>= 1;
     }
+  }
+
+  /// True when this machine routes sum-class reductions through the exact
+  /// superaccumulator (sampled once at Runtime construction).  Folds to
+  /// false when the repro layer is compiled out.
+  [[nodiscard]] bool repro_active() const {
+    if constexpr (!repro::kCompiled) return false;
+    return rt_.repro_active();
+  }
+
+  /// All-reduce of exact superaccumulators — the reproducible mode's merge
+  /// primitive.  Walks the same binomial tree as allreduce_batch, but the
+  /// payload is the fixed-point accumulator and the merge is element-wise
+  /// integer limb addition, which is associative: every rank ends holding
+  /// the bit-identical exact sum (rank 0's merged limbs, broadcast
+  /// verbatim) and rounds it identically.  Books one reduction of
+  /// accs.size() values — the same currency as the float path — plus the
+  /// limb-merge flops, and bumps the repro_* Stats counters.  k = 0
+  /// conforms and then no-ops, like the batch collectives.
+  void allreduce_acc(std::span<repro::Superacc> accs) {
+    const int p = nprocs();
+    conform(check::CollectiveKind::kReproReduce, check::kNoRoot,
+            sizeof(repro::Superacc), accs.size());
+    if (accs.empty()) return;
+    race_fence("allreduce");
+    trace::SpanScope span(trace_, trace::SpanKind::kReproMerge,
+                          static_cast<std::uint32_t>(accs.size()),
+                          accs.size() * sizeof(repro::Superacc), tree_depth());
+    const int seq = next_collective();
+    note_reduction(accs.size());
+    auto& s = stats();
+    ++s.repro_reductions;
+    s.repro_values += accs.size();
+    // Canonical digits on the wire: merge() relies on both sides being
+    // renormalized, and rank 0's broadcast limbs must already be canonical.
+    for (auto& a : accs) a.renormalize();
+    if (p == 1) return;
+    const std::size_t k = accs.size();
+    // Reduce to rank 0 (phase 0) ...
+    int mask = 1;
+    while (mask < p) {
+      if ((rank_ & mask) == 0) {
+        const int partner = rank_ | mask;
+        if (partner < p) {
+          const std::span<repro::Superacc> other =
+              coll_scratch<repro::Superacc>(k);
+          recv_into<repro::Superacc>(partner, coll_tag(seq, 0), other);
+          for (std::size_t i = 0; i < k; ++i) accs[i].merge(other[i]);
+          add_flops(k * repro::Superacc::kMergeFlops);
+        }
+      } else {
+        send<repro::Superacc>(
+            rank_ - mask, coll_tag(seq, 0),
+            std::span<const repro::Superacc>(accs.data(), k));
+        break;
+      }
+      mask <<= 1;
+    }
+    // ... then broadcast the merged accumulators down the tree (phase 1).
+    int mask2 = 1;
+    while (mask2 < p) {
+      if (rank_ & mask2) {
+        recv_into<repro::Superacc>(rank_ - mask2, coll_tag(seq, 1), accs);
+        break;
+      }
+      mask2 <<= 1;
+    }
+    mask2 >>= 1;
+    while (mask2 > 0) {
+      if (rank_ + mask2 < p) {
+        send<repro::Superacc>(
+            rank_ + mask2, coll_tag(seq, 1),
+            std::span<const repro::Superacc>(accs.data(), k));
+      }
+      mask2 >>= 1;
+    }
+  }
+
+  /// Allocations taken by the reusable vector-collective receive scratch
+  /// (allreduce_vec / allreduce_acc tree levels): backs the regression test
+  /// that the per-level `std::vector other(n)` allocation churn stays gone.
+  [[nodiscard]] std::uint64_t coll_scratch_allocations() const {
+    return coll_scratch_allocations_;
   }
 
   /// Fused reduction of `vals.size()` scalars to `root` (valid only there),
@@ -816,6 +950,21 @@ class Process {
     std::vector<T> heap_;
   };
 
+  /// Reusable receive scratch for the vector-length collectives
+  /// (allreduce_vec and allreduce_acc tree levels): one buffer grown to the
+  /// high-water byte mark instead of a fresh std::vector per tree level of
+  /// every call — the same hoist as the sparse transpose scratch.  Only
+  /// receiving (non-leaf) tree ranks ever touch it.  Contents are
+  /// overwritten by recv_into before every read, so no initialization runs.
+  template <class T>
+  [[nodiscard]] std::span<T> coll_scratch(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t bytes = n * sizeof(T);
+    if (coll_scratch_.capacity() < bytes) ++coll_scratch_allocations_;
+    if (coll_scratch_.size() < bytes) coll_scratch_.resize(bytes);
+    return {reinterpret_cast<T*>(coll_scratch_.data()), n};
+  }
+
   /// Total payload of a counts-described collective, computed only when a
   /// span will carry it.
   template <class T>
@@ -927,6 +1076,8 @@ class Process {
   Runtime& rt_;
   int rank_;
   trace::RankTrace* trace_;
+  std::vector<std::byte> coll_scratch_;
+  std::uint64_t coll_scratch_allocations_ = 0;
   int coll_seq_ = 0;
   /// Conformance-relevant op count (collectives + barriers), advanced only
   /// while a check harness is attached; independent of the tag space.

@@ -24,6 +24,7 @@
 #include "hpfcg/msg/stats.hpp"
 #include "hpfcg/race/detector.hpp"
 #include "hpfcg/race/race.hpp"
+#include "hpfcg/repro/repro.hpp"
 #include "hpfcg/trace/session.hpp"
 #include "hpfcg/trace/trace.hpp"
 
@@ -99,6 +100,16 @@ class Runtime {
     return racer_.get();
   }
 
+  /// True when this machine routes sum-class reductions through the exact
+  /// superaccumulator (hpfcg::repro).  Sampled once at construction, like
+  /// the check harness, so every rank agrees on the collective shapes for
+  /// the machine's whole lifetime.  When the repro layer is compiled out
+  /// this folds to false and the re-routing branches are dead code.
+  [[nodiscard]] bool repro_active() const {
+    if constexpr (!repro::kCompiled) return false;
+    return repro_;
+  }
+
  private:
   void audit_teardown() const;
 
@@ -109,6 +120,7 @@ class Runtime {
   std::unique_ptr<check::Harness> checker_;
   std::unique_ptr<trace::Session> tracer_;
   std::unique_ptr<race::Detector> racer_;
+  bool repro_ = false;
 
   /// True between run() entry and join; guards cross-rank Stats aggregation.
   std::atomic<bool> running_{false};

@@ -30,6 +30,12 @@ struct Stats {
   /// Scalar values merged by those reductions (k per batch), so the
   /// batching factor reduction_values / reductions is visible.
   std::uint64_t reduction_values = 0;
+  /// Reductions routed through the reproducible mode (hpfcg::repro): exact
+  /// superaccumulator merges instead of float adds, and the values they
+  /// carried.  Zero whenever the mode is off — the opt-in costs nothing
+  /// until enabled, and the A/B benches assert exactly that.
+  std::uint64_t repro_reductions = 0;
+  std::uint64_t repro_values = 0;
 
   /// Halo-executor traffic (sparse::HaloPlan): point-to-point messages and
   /// payload bytes this rank *sent* through a cached ghost-exchange plan,
@@ -41,6 +47,10 @@ struct Stats {
   std::uint64_t halo_bytes = 0;
   std::uint64_t ghost_entries = 0;
   std::uint64_t gather_bytes = 0;
+  /// Matvecs that wanted the halo executor but fell back to the O(n)
+  /// gather because the row distribution is not contiguous — the perf
+  /// cliff the one-shot runtime warning points at.
+  std::uint64_t halo_fallbacks = 0;
 
   /// Envelope storage path per message sent: inline (≤64 B payload),
   /// drawn from the destination mailbox's buffer pool, or the tracked
@@ -78,10 +88,13 @@ struct Stats {
     collectives += o.collectives;
     reductions += o.reductions;
     reduction_values += o.reduction_values;
+    repro_reductions += o.repro_reductions;
+    repro_values += o.repro_values;
     halo_msgs += o.halo_msgs;
     halo_bytes += o.halo_bytes;
     ghost_entries += o.ghost_entries;
     gather_bytes += o.gather_bytes;
+    halo_fallbacks += o.halo_fallbacks;
     envelopes_inline += o.envelopes_inline;
     envelopes_pooled += o.envelopes_pooled;
     envelopes_heap += o.envelopes_heap;

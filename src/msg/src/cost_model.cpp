@@ -122,4 +122,11 @@ double CostModel::halo_exchange_time(std::size_t neighbors,
          static_cast<double>(bytes) * params_.t_comm;
 }
 
+double CostModel::repro_allreduce_time(std::size_t k, std::size_t acc_bytes,
+                                       std::size_t merge_flops) const {
+  return allreduce_batch_time(k, acc_bytes) +
+         static_cast<double>(log2_ceil_procs()) *
+             compute_time(k * merge_flops);
+}
+
 }  // namespace hpfcg::msg

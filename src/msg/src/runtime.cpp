@@ -26,6 +26,7 @@ Runtime::Runtime(int nprocs, CostParams params, Topology topo)
   if (trace::kCompiled && trace::enabled()) {
     tracer_ = std::make_unique<trace::Session>(nprocs, trace::ring_capacity());
   }
+  repro_ = repro::kCompiled && repro::enabled();
   if (race::kCompiled && (race::enabled() || race::replay_seed() != 0)) {
     racer_ = std::make_unique<race::Detector>(nprocs, race::enabled(),
                                               race::replay_seed(),

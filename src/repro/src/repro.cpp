@@ -1,0 +1,36 @@
+#include "hpfcg/repro/repro.hpp"
+
+#ifdef HPFCG_REPRO_ENABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hpfcg::repro {
+
+namespace {
+
+bool env_truthy(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+         std::strcmp(v, "ON") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "TRUE") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_truthy("HPFCG_REPRO", false)};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace hpfcg::repro
+
+#endif  // HPFCG_REPRO_ENABLED

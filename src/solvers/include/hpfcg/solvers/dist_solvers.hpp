@@ -319,7 +319,8 @@ template <class T>
 SolveResult pcg_fused_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
                            const hpf::DistributedVector<T>& b,
                            hpf::DistributedVector<T>& x,
-                           const SolveOptions& opts = {}) {
+                           const SolveOptions& opts = {},
+                           const RebalanceHook& rebalance = {}) {
   SolveResult res;
   trace::RankTrace* const trc = b.proc().tracer_rank();
   const double bnorm = std::sqrt(static_cast<double>(hpf::dot_product(b, b)));
@@ -387,6 +388,15 @@ SolveResult pcg_fused_dist(const DistOp<T>& a, const DistPrec<T>& m_inv,
     hpf::aypx<T>(beta, u, p);  // p = u + beta p
     hpf::aypx<T>(beta, w, s);  // s = w + beta s
     gamma = gamma_new;
+    // Live vectors: x, r, p, and the recurrence vector s = A p.  u and w
+    // are recomputed from r next iteration — rebuilt on the new cuts.  The
+    // preconditioner must follow the migration itself (e.g. via
+    // make_csr_rebalancer's on_migrate callback).
+    if (detail::rebalance_due(opts, rebalance, k) &&
+        detail::apply_rebalance<T>(rebalance, x, r, p, s)) {
+      u = hpf::DistributedVector<T>::aligned_like(x);
+      w = hpf::DistributedVector<T>::aligned_like(x);
+    }
   }
   return res;
 }

@@ -64,6 +64,13 @@ namespace halo {
 [[nodiscard]] bool enabled();
 void set_enabled(bool on);
 
+/// Emit (once per run) the stderr notice that a matrix wanted the halo
+/// executor but its row distribution is not contiguous, so the sweep
+/// silently pays the legacy O(n) gather instead.  The per-matrix event is
+/// also counted in Stats::halo_fallbacks; the one-shot warning exists so
+/// the perf cliff is visible even when nobody reads the stats.
+void warn_fallback_once();
+
 /// RAII enable/disable for tests and benches: restores the previous state.
 class ScopedEnable {
  public:

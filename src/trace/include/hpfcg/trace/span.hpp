@@ -53,6 +53,9 @@ enum class SpanKind : std::uint8_t {
   kHalo,
   // legacy O(n) gather (DistributedVector::to_global): bytes = full vector
   kGatherFull,
+  // reproducible-mode reduction (hpfcg::repro): one exact superaccumulator
+  // all-reduce; a = batch width, bytes = width * sizeof(Superacc)
+  kReproMerge,
 };
 
 /// Human-readable span kind (stable names; used by the Chrome exporter).
@@ -63,7 +66,7 @@ enum class SpanKind : std::uint8_t {
 [[nodiscard]] constexpr bool is_tree_collective(SpanKind k) {
   return k == SpanKind::kBroadcast || k == SpanKind::kReduce ||
          k == SpanKind::kAllreduceVec || k == SpanKind::kAllreduceBatch ||
-         k == SpanKind::kReduceBatch;
+         k == SpanKind::kReduceBatch || k == SpanKind::kReproMerge;
 }
 
 /// How an Envelope's payload was stored (Span::aux for kSend/kRecv).

@@ -1,5 +1,6 @@
 #include "hpfcg/trace/chrome_export.hpp"
 
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -28,6 +29,7 @@ int lane_of(SpanKind k) {
     case SpanKind::kSequential:
     case SpanKind::kHalo:
     case SpanKind::kGatherFull:
+    case SpanKind::kReproMerge:
       return 0;
     case SpanKind::kDot:
     case SpanKind::kDotBatch:
@@ -56,10 +58,17 @@ void meta_event(std::ostream& os, bool& first, int pid, const char* what,
 
 void counter_event(std::ostream& os, int pid, std::uint64_t t_ns,
                    const char* name, double value) {
+  // max_digits10 decimal digits round-trip any finite double exactly
+  // through strtod, so consumers that parse counter values back (the
+  // reproducibility gates compare residuals bit-for-bit) see the same
+  // bits the solver produced — the default 6-digit ostream precision
+  // silently truncated them.
+  const auto prev = os.precision(std::numeric_limits<double>::max_digits10);
   os << ",\n"
      << R"( {"name":")" << name << R"(","ph":"C","pid":)" << pid
      << R"(,"tid":0,"ts":)" << us(t_ns) << R"(,"args":{")" << name
      << R"(":)" << value << "}}";
+  os.precision(prev);
 }
 
 }  // namespace

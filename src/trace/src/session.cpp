@@ -30,6 +30,7 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kRedistribute: return "redistribute";
     case SpanKind::kHalo: return "halo";
     case SpanKind::kGatherFull: return "gather_full";
+    case SpanKind::kReproMerge: return "repro_merge";
   }
   return "?";
 }

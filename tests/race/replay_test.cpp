@@ -13,12 +13,16 @@
 #include <thread>
 #include <vector>
 
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "hpfcg/hpf/redistribute.hpp"
 #include "hpfcg/msg/process.hpp"
 #include "hpfcg/msg/runtime.hpp"
 #include "hpfcg/race/race.hpp"
 #include "hpfcg/race/replay.hpp"
+#include "hpfcg/repro/repro.hpp"
 #include "hpfcg/solvers/dist_solvers.hpp"
 #include "hpfcg/solvers/preconditioner.hpp"
+#include "hpfcg/solvers/rebalance.hpp"
 #include "hpfcg/sparse/dist_csr.hpp"
 #include "hpfcg/sparse/generators.hpp"
 #include "hpfcg/sparse/halo.hpp"
@@ -204,6 +208,64 @@ TEST_P(RaceReplaySolverTest, PcgFusedIsReplayInvariant) {
           const auto res = sv::pcg_fused_dist<double>(
               op, sv::jacobi_dist(inv_diag), b, x,
               {.rel_tolerance = 1e-10, .track_residuals = true});
+          if (p.rank() == 0) run.signature = res.residual_signature();
+        });
+        run.races = rt.racer()->race_count();
+        return run;
+      });
+
+  EXPECT_TRUE(report.deterministic())
+      << report.identical << "/" << report.perturbed.size() << " identical";
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.baseline.races, 0u);
+}
+
+TEST_P(RaceReplaySolverTest, PcgFusedReproRebalanceIsReplayInvariant) {
+  // The reproducible mode's hardest schedule: exact-superaccumulator
+  // reductions AND mid-solve redistribution under an adversarial delivery
+  // order.  Every perturbed replay must reproduce the baseline residual
+  // history bit for bit with nothing flagged — the repro merge is
+  // collective (directed receives only) and the migration is a replicated
+  // decision, so no wildcard match order exists.
+  if (!hpfcg::repro::kCompiled) GTEST_SKIP() << "repro mode compiled out";
+  const int np = GetParam();
+  const auto a = sp::powerlaw_spd(96, 3, 5, 48, 13);
+  const auto b_full = sp::random_rhs(a.n_rows(), 29);
+  const auto diag = a.diagonal();
+
+  const auto report = race::perturbed_replay(
+      20, 0x4e9au + static_cast<std::uint64_t>(np),
+      [&](std::uint64_t seed) {
+        hpfcg::repro::ScopedEnable repro_on;
+        race::ScopedEnable on;
+        race::ScopedReplaySeed replay(seed);
+        Runtime rt(np);
+        race::ReplayRun run;
+        rt.run([&](Process& p) {
+          auto dist = share(Distribution::block(a.n_rows(), p.nprocs()));
+          auto mat = sp::DistCsr<double>::row_aligned(p, a, dist);
+          DistributedVector<double> b(p, dist), x(p, dist),
+              inv_diag(p, dist);
+          b.from_global(b_full);
+          inv_diag.set_from([&](std::size_t g) { return 1.0 / diag[g]; });
+          const sv::DistOp<double> op =
+              [&](const DistributedVector<double>& q,
+                  DistributedVector<double>& out) { mat.matvec(q, out); };
+          const sv::DistPrec<double> prec =
+              [&inv_diag](const DistributedVector<double>& r,
+                          DistributedVector<double>& z) {
+                hpfcg::hpf::hadamard(inv_diag, r, z);
+              };
+          const auto hook = sv::make_csr_rebalancer<double>(
+              mat, [&](const hpfcg::hpf::DistPtr& nd) {
+                inv_diag = hpfcg::hpf::redistribute(inv_diag, nd);
+              });
+          const auto res = sv::pcg_fused_dist<double>(
+              op, prec, b, x,
+              {.rel_tolerance = 1e-10,
+               .track_residuals = true,
+               .rebalance_every = 3},
+              hook);
           if (p.rank() == 0) run.signature = res.residual_signature();
         });
         run.races = rt.racer()->race_count();

@@ -1,0 +1,191 @@
+// The tentpole property at the HPF-intrinsics level: with HPFCG_REPRO on,
+// dot_product / dot_products / sum / norm2 over a FIXED global vector are
+// bit-identical for every machine size and for every block-cut placement —
+// the local partial sums are accumulated exactly, so the block cuts and
+// the merge tree stop being observable.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hpfcg/hpf/dist_vector.hpp"
+#include "hpfcg/hpf/distribution.hpp"
+#include "hpfcg/hpf/intrinsics.hpp"
+#include "hpfcg/msg/process.hpp"
+#include "hpfcg/repro/repro.hpp"
+#include "hpfcg/repro/superacc.hpp"
+#include "spmd_test_util.hpp"
+
+namespace repro = hpfcg::repro;
+namespace hpf = hpfcg::hpf;
+using hpfcg::hpf::Distribution;
+using hpfcg::hpf::DistributedVector;
+using hpfcg::msg::Process;
+using hpfcg_test::run_spmd;
+using hpfcg_test::test_machine_sizes;
+
+namespace {
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+auto share(Distribution d) {
+  return std::make_shared<const Distribution>(std::move(d));
+}
+
+/// Fixed global payloads spanning ~1e±15 with mixed signs: partial-sum
+/// order visibly matters for these under plain float summation.
+std::vector<double> global_x(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int e = static_cast<int>((i * 11) % 100) - 50;
+    v[i] = (i % 3 == 0 ? -1.0 : 1.0) *
+           std::ldexp(1.0 + 0.013 * static_cast<double>(i), e);
+  }
+  return v;
+}
+
+std::vector<double> global_y(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int e = static_cast<int>((i * 7 + 3) % 90) - 45;
+    v[i] = (i % 5 == 0 ? -1.0 : 1.0) *
+           std::ldexp(2.0 - 0.005 * static_cast<double>(i), e);
+  }
+  return v;
+}
+
+constexpr std::size_t kN = 257;
+
+/// Serial exact references.
+double exact_dot(const std::vector<double>& x, const std::vector<double>& y) {
+  repro::Superacc acc = repro::dot_accumulate<double>(
+      std::span<const double>(x), std::span<const double>(y));
+  return acc.round();
+}
+
+double exact_sum(const std::vector<double>& x) {
+  repro::Superacc acc =
+      repro::sum_accumulate<double>(std::span<const double>(x));
+  return acc.round();
+}
+
+class ReproIntrinsicsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!repro::kCompiled) GTEST_SKIP() << "repro mode compiled out";
+  }
+};
+
+TEST_F(ReproIntrinsicsTest, DotProductIsNpInvariantAndExact) {
+  const auto xs = global_x(kN);
+  const auto ys = global_y(kN);
+  const double expect = exact_dot(xs, ys);
+  repro::ScopedEnable on;
+  for (const int np : test_machine_sizes()) {
+    run_spmd(np, [&](Process& p) {
+      auto dist = share(Distribution::block(kN, p.nprocs()));
+      DistributedVector<double> x(p, dist), y(p, dist);
+      x.from_global(xs);
+      y.from_global(ys);
+      const double got = hpf::dot_product(x, y);
+      EXPECT_EQ(bits_of(got), bits_of(expect))
+          << "np=" << np << " rank " << p.rank();
+    });
+  }
+}
+
+TEST_F(ReproIntrinsicsTest, DotProductIsBlockCutInvariant) {
+  // Same machine size, three different contiguous cut layouts — the
+  // rebalance scenario in miniature.  Plain float partial sums would give
+  // three different roundings; the exact path must give one.
+  const auto xs = global_x(kN);
+  const auto ys = global_y(kN);
+  const double expect = exact_dot(xs, ys);
+  repro::ScopedEnable on;
+  const int np = 4;
+  const std::vector<std::vector<std::size_t>> cut_sets{
+      {0, 64, 128, 192, kN},
+      {0, 10, 30, 200, kN},
+      {0, 1, 2, 3, kN},  // maximally skewed: rank 3 holds nearly everything
+  };
+  for (const auto& cuts : cut_sets) {
+    run_spmd(np, [&](Process& p) {
+      auto dist = share(Distribution::from_cuts(kN, cuts));
+      DistributedVector<double> x(p, dist), y(p, dist);
+      x.from_global(xs);
+      y.from_global(ys);
+      EXPECT_EQ(bits_of(hpf::dot_product(x, y)), bits_of(expect))
+          << "cuts[1]=" << cuts[1] << " rank " << p.rank();
+    });
+  }
+}
+
+TEST_F(ReproIntrinsicsTest, FusedDotBatchMatchesScalarDots) {
+  const auto xs = global_x(kN);
+  const auto ys = global_y(kN);
+  repro::ScopedEnable on;
+  for (const int np : {1, 3, 8}) {
+    run_spmd(np, [&](Process& p) {
+      auto dist = share(Distribution::block(kN, p.nprocs()));
+      DistributedVector<double> x(p, dist), y(p, dist);
+      x.from_global(xs);
+      y.from_global(ys);
+      const auto batch = hpf::dot_products(x, x, x, y, y, y);
+      EXPECT_EQ(bits_of(batch[0]), bits_of(hpf::dot_product(x, x)));
+      EXPECT_EQ(bits_of(batch[1]), bits_of(hpf::dot_product(x, y)));
+      EXPECT_EQ(bits_of(batch[2]), bits_of(hpf::dot_product(y, y)));
+    });
+  }
+}
+
+TEST_F(ReproIntrinsicsTest, SumAndNorm2AreNpInvariant) {
+  const auto xs = global_x(kN);
+  const double sum_expect = exact_sum(xs);
+  const double norm_expect = std::sqrt(exact_dot(xs, xs));
+  repro::ScopedEnable on;
+  for (const int np : test_machine_sizes()) {
+    run_spmd(np, [&](Process& p) {
+      auto dist = share(Distribution::block(kN, p.nprocs()));
+      DistributedVector<double> x(p, dist);
+      x.from_global(xs);
+      EXPECT_EQ(bits_of(hpf::sum(x)), bits_of(sum_expect)) << "np=" << np;
+      // norm2 = sqrt(exact dot): sqrt is correctly rounded per IEEE, so the
+      // norm inherits the invariance.
+      EXPECT_EQ(bits_of(hpf::norm2(x)), bits_of(norm_expect)) << "np=" << np;
+    });
+  }
+}
+
+TEST_F(ReproIntrinsicsTest, ModeOffLeavesThePlainPathAlone) {
+  // With the mode off the intrinsics take the historical float path: same
+  // run-to-run bits as before (determinism within one layout), and the
+  // repro Stats counters stay zero.
+  const auto xs = global_x(kN);
+  const auto ys = global_y(kN);
+  repro::ScopedEnable off(false);
+  for (const int np : {2, 7}) {
+    double first = 0.0;
+    for (int trial = 0; trial < 2; ++trial) {
+      auto rt = run_spmd(np, [&](Process& p) {
+        auto dist = share(Distribution::block(kN, p.nprocs()));
+        DistributedVector<double> x(p, dist), y(p, dist);
+        x.from_global(xs);
+        y.from_global(ys);
+        const double got = hpf::dot_product(x, y);
+        if (p.rank() == 0) first = trial == 0 ? got : first;
+        if (trial == 1 && p.rank() == 0) {
+          EXPECT_EQ(bits_of(got), bits_of(first));
+        }
+      });
+      EXPECT_EQ(rt->total_stats().repro_reductions, 0u);
+      EXPECT_EQ(rt->total_stats().repro_values, 0u);
+    }
+  }
+}
+
+}  // namespace

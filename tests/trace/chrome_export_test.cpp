@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
 #include <span>
 #include <string>
 #include <vector>
@@ -84,6 +88,49 @@ TEST(ChromeExport, IterationMetricsBecomeCounterTracks) {
   EXPECT_NE(json.find("\"residual\":0.125"), std::string::npos);
   EXPECT_NE(json.find("\"reductions\":7"), std::string::npos);
   EXPECT_NE(json.find("\"bytes_moved\":96"), std::string::npos);
+}
+
+TEST(ChromeExport, ResidualCountersRoundTripBitExactly) {
+  // The reproducibility gates parse residuals back out of the exported
+  // trace and compare them bit for bit, so the exporter must print
+  // max_digits10 digits — the default 6-digit ostream precision silently
+  // truncated them (the satellite bug this test pins).
+  const double nasty[] = {
+      1.0 / 3.0,
+      0.1234567890123456789,
+      6.62607015e-34,
+      1.7976931348623157e308,
+      2.2250738585072014e-308,
+      -9.869604401089358,
+  };
+  trace::Session s(1, 16);
+  for (std::size_t i = 0; i < std::size(nasty); ++i) {
+    trace::IterationMetrics m;
+    m.t_ns = 1000 * (i + 1);
+    m.iteration = i;
+    m.residual = nasty[i];
+    s.rank(0).note_iteration(m);
+  }
+  const std::string json = trace::chrome_trace_json(s);
+  // Pull every "residual": value back out and compare bits.
+  std::size_t found = 0;
+  const std::string key = "\"residual\":";
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + key.size())) {
+    // Skip the counter-name occurrences ("name":"residual") — values only.
+    const char c = json[pos + key.size()];
+    if (c == '"' ) continue;
+    ASSERT_LT(found, std::size(nasty));
+    const double parsed = std::strtod(json.c_str() + pos + key.size(), nullptr);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(nasty[found]))
+        << "residual " << found << " lost bits in export";
+    ++found;
+  }
+  EXPECT_EQ(found, std::size(nasty));
+  // The precision bump must not leak into neighboring fields of the
+  // stream: integer counters still print as integers.
+  EXPECT_NE(json.find("\"reductions\":0"), std::string::npos);
 }
 
 TEST(ChromeExport, EndToEndTracedRunExportsEveryRank) {
