@@ -52,6 +52,14 @@ struct Stats {
   /// cliff the one-shot runtime warning points at.
   std::uint64_t halo_fallbacks = 0;
 
+  /// Multigrid preconditioner work (solvers::MgPreconditioner): V-cycle
+  /// applications and Gauss–Seidel half-sweeps summed over every level —
+  /// the "smoother sweeps per preconditioner apply" currency of the
+  /// bench_hpcg tables (a V(1,1) cycle over L levels runs 4(L-1) + 2·coarse
+  /// half-sweeps).
+  std::uint64_t mg_vcycles = 0;
+  std::uint64_t mg_level_sweeps = 0;
+
   /// Envelope storage path per message sent: inline (≤64 B payload),
   /// drawn from the destination mailbox's buffer pool, or the tracked
   /// heap fallback when the bounded pool is exhausted (or pooling is
@@ -95,6 +103,8 @@ struct Stats {
     ghost_entries += o.ghost_entries;
     gather_bytes += o.gather_bytes;
     halo_fallbacks += o.halo_fallbacks;
+    mg_vcycles += o.mg_vcycles;
+    mg_level_sweeps += o.mg_level_sweeps;
     envelopes_inline += o.envelopes_inline;
     envelopes_pooled += o.envelopes_pooled;
     envelopes_heap += o.envelopes_heap;

@@ -1,6 +1,7 @@
 #include "hpfcg/solvers/preconditioner.hpp"
 
 #include <memory>
+#include <string>
 
 #include "hpfcg/util/error.hpp"
 
@@ -8,9 +9,10 @@ namespace hpfcg::solvers {
 
 PrecApply jacobi_preconditioner(const sparse::Csr<double>& a) {
   auto inv_diag = std::make_shared<std::vector<double>>(a.diagonal());
-  for (auto& d : *inv_diag) {
-    HPFCG_REQUIRE(d != 0.0, "jacobi: zero diagonal entry");
-    d = 1.0 / d;
+  for (std::size_t i = 0; i < inv_diag->size(); ++i) {
+    HPFCG_REQUIRE((*inv_diag)[i] != 0.0,
+                  "jacobi: zero diagonal entry in row " + std::to_string(i));
+    (*inv_diag)[i] = 1.0 / (*inv_diag)[i];
   }
   return [inv_diag](std::span<const double> r, std::span<double> z) {
     HPFCG_REQUIRE(r.size() == inv_diag->size() && z.size() == r.size(),
@@ -26,8 +28,9 @@ PrecApply ssor_preconditioner(const sparse::Csr<double>& a, double omega) {
   // the caller's matrix reference safely.
   auto mat = std::make_shared<sparse::Csr<double>>(a);
   auto diag = std::make_shared<std::vector<double>>(a.diagonal());
-  for (const double d : *diag) {
-    HPFCG_REQUIRE(d != 0.0, "ssor: zero diagonal entry");
+  for (std::size_t i = 0; i < diag->size(); ++i) {
+    HPFCG_REQUIRE((*diag)[i] != 0.0,
+                  "ssor: zero diagonal entry in row " + std::to_string(i));
   }
   const double scale = omega * (2.0 - omega);
 

@@ -1,6 +1,7 @@
 #include "hpfcg/solvers/stationary.hpp"
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "hpfcg/util/error.hpp"
@@ -29,8 +30,10 @@ SolveResult jacobi_iteration(const sparse::Csr<double>& a,
   const std::size_t n = b.size();
   SolveResult res;
   const auto diag = a.diagonal();
-  for (const double d : diag) {
-    HPFCG_REQUIRE(d != 0.0, "jacobi_iteration: zero diagonal");
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    HPFCG_REQUIRE(diag[i] != 0.0,
+                  "jacobi_iteration: zero diagonal entry in row " +
+                      std::to_string(i));
   }
   double bnorm = 0.0;
   for (const double v : b) bnorm += v * v;
@@ -61,8 +64,10 @@ SolveResult sor_iteration(const sparse::Csr<double>& a,
   const std::size_t n = b.size();
   SolveResult res;
   const auto diag = a.diagonal();
-  for (const double d : diag) {
-    HPFCG_REQUIRE(d != 0.0, "sor_iteration: zero diagonal");
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    HPFCG_REQUIRE(diag[i] != 0.0,
+                  "sor_iteration: zero diagonal entry in row " +
+                      std::to_string(i));
   }
   double bnorm = 0.0;
   for (const double v : b) bnorm += v * v;

@@ -358,6 +358,109 @@ class DistCsr {
     }
   }
 
+  /// In-place Gauss–Seidel half sweep over this rank's rows:
+  ///   x_i = (b_i - sum_{j != i} a_ij x_j) / a_ii
+  /// in ascending (`forward`) or descending global row order — the smoother
+  /// kernel of the multigrid preconditioner.  Collective.  `exact` selects
+  /// the pipelined executor: ghost columns owned by ranks the sweep already
+  /// visited carry *updated* values, so the result is bit-identical to a
+  /// serial sweep for any NP (the Scenario 2 sequential dependency, paid as
+  /// pipeline wait).  Otherwise ghost values are frozen for the half sweep,
+  /// so boundary couplings relax Jacobi-style and every rank sweeps
+  /// concurrently — the hybrid smoother.  Requires a contiguous row
+  /// distribution (rank order must be global row order) and a nonzero
+  /// diagonal in every row.
+  void gs_half_sweep(const hpf::DistributedVector<T>& b,
+                     hpf::DistributedVector<T>& x, bool forward, bool exact) {
+    HPFCG_REQUIRE(b.size() == n_ && x.size() == n_,
+                  "gs_half_sweep: dimension mismatch");
+    HPFCG_REQUIRE(b.dist() == *row_dist_ && x.dist() == *row_dist_,
+                  "gs_half_sweep: vectors must be aligned with the rows");
+    HPFCG_REQUIRE(row_dist_->contiguous(),
+                  "gs_half_sweep: contiguous row distribution required");
+    assemble();
+    audit_structure();
+    ensure_gs_diag();
+    const std::size_t nl = local_rows();
+    const std::size_t base = plan_.needed().begin;
+    auto xl = x.local();
+    const auto bl = b.local();
+    std::size_t flops = 0;
+
+    if (use_halo()) {
+      ensure_halo();
+      x_halo_.resize(nl + halo_.n_ghosts());
+      std::copy(xl.begin(), xl.end(), x_halo_.begin());
+      const auto ghosts = std::span<T>(x_halo_).subspan(nl);
+      const std::span<const T> owned(xl.data(), xl.size());
+      if (exact) {
+        halo_.sweep_pre<T>(*proc_, owned, ghosts, halo_pack_, forward);
+      } else {
+        halo_.exchange<T>(*proc_, owned, ghosts, halo_pack_);
+      }
+      const auto relax = [&](std::size_t lr) {
+        const std::size_t lo = row_ptr_[lr];
+        const std::size_t hi = row_ptr_[lr + 1];
+        T acc = bl[lr];
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::size_t c = col_local_[k - base];
+          if (c == lr) continue;
+          acc -= val_w_[k - base] * x_halo_[c];
+        }
+        const T xi = acc / gs_diag_[lr];
+        x_halo_[lr] = xi;
+        xl[lr] = xi;
+        flops += 2 * (hi - lo) + 1;
+      };
+      if (forward) {
+        for (std::size_t lr = 0; lr < nl; ++lr) relax(lr);
+      } else {
+        for (std::size_t lr = nl; lr-- > 0;) relax(lr);
+      }
+      if (exact) halo_.sweep_post<T>(*proc_, owned, halo_pack_, forward);
+      proc_->add_flops(flops);
+      return;
+    }
+
+    // Legacy gather path: materialize the full vector, then (exact mode)
+    // chain the ranks in sweep order — each predecessor ships the vector
+    // with all of its rows updated, so the sweep is still bit-identical to
+    // the serial pass (at O(n) bytes per hop, matching this path's matvec).
+    std::vector<T> full = x.to_global();
+    constexpr int kChainTag = 0x2320;
+    const int np = proc_->nprocs();
+    const int me = proc_->rank();
+    const int prev = forward ? me - 1 : me + 1;
+    const int next = forward ? me + 1 : me - 1;
+    if (exact && prev >= 0 && prev < np) {
+      proc_->recv_into<T>(prev, kChainTag, std::span<T>(full));
+    }
+    const auto relax = [&](std::size_t lr) {
+      const std::size_t lo = row_ptr_[lr];
+      const std::size_t hi = row_ptr_[lr + 1];
+      const std::size_t g = row_lo_ + lr;
+      T acc = bl[lr];
+      for (std::size_t k = lo; k < hi; ++k) {
+        const std::size_t c = col_w_[k - base];
+        if (c == g) continue;
+        acc -= val_w_[k - base] * full[c];
+      }
+      const T xi = acc / gs_diag_[lr];
+      full[g] = xi;
+      xl[lr] = xi;
+      flops += 2 * (hi - lo) + 1;
+    };
+    if (forward) {
+      for (std::size_t lr = 0; lr < nl; ++lr) relax(lr);
+    } else {
+      for (std::size_t lr = nl; lr-- > 0;) relax(lr);
+    }
+    if (exact && next >= 0 && next < np) {
+      proc_->send<T>(next, kChainTag, std::span<const T>(full));
+    }
+    proc_->add_flops(flops);
+  }
+
   /// The cached ghost-exchange schedule (empty until the first halo sweep).
   [[nodiscard]] const HaloPlan& halo_plan() const { return halo_; }
 
@@ -486,6 +589,34 @@ class DistCsr {
     }
   }
 
+  /// Cache each owned row's diagonal for the Gauss–Seidel sweeps, naming
+  /// the offending global row and rank when one is zero or missing — the
+  /// same diagnostic contract as jacobi_preconditioner, so a singular
+  /// smoother fails loudly instead of propagating NaN.  The values are
+  /// immutable per matrix object (migration builds a fresh one), so the
+  /// scan runs once.
+  void ensure_gs_diag() {
+    if (gs_diag_built_) return;
+    const std::size_t base = plan_.needed().begin;
+    gs_diag_.assign(local_rows(), T{});
+    for (std::size_t lr = 0; lr < local_rows(); ++lr) {
+      const std::size_t g = row_lo_ + lr;
+      T d{};
+      for (std::size_t k = row_ptr_[lr]; k < row_ptr_[lr + 1]; ++k) {
+        if (col_w_[k - base] == g) {
+          d = val_w_[k - base];
+          break;
+        }
+      }
+      HPFCG_REQUIRE(d != T{},
+                    "gs_half_sweep: zero or missing diagonal in global row " +
+                        std::to_string(g) + " on rank " +
+                        std::to_string(proc_->rank()));
+      gs_diag_[lr] = d;
+    }
+    gs_diag_built_ = true;
+  }
+
   /// Zero `buf` to exactly `m` elements, growing at most once over the
   /// matrix's lifetime (counted, so tests can pin the allocation count).
   void zero_scratch(std::vector<T>& buf, std::size_t m) {
@@ -544,6 +675,8 @@ class DistCsr {
   bool caching_ = false;
   bool assembled_ = false;
   bool audited_ = false;  ///< hpfcg::check: window validated since assembly
+  std::vector<T> gs_diag_;      ///< owned diagonals for the GS sweeps
+  bool gs_diag_built_ = false;  ///< diag scan (with zero check) done
 
   // Halo-executor state.  Plain values: the rebalance hook copy-assigns
   // matrices, and a copied plan stays valid while the ownership map does

@@ -28,6 +28,13 @@ Csr<double> laplacian_2d(std::size_t nx, std::size_t ny);
 /// 7-point 3-D Laplacian on an nx×ny×nz grid.  SPD.
 Csr<double> laplacian_3d(std::size_t nx, std::size_t ny, std::size_t nz);
 
+/// 27-point 3-D stencil on an nx×ny×nz grid — the HPCG benchmark operator:
+/// 26.0 on the diagonal, -1.0 for every face/edge/corner neighbour.
+/// Interior rows sum to zero, boundary rows are strictly dominant, so the
+/// matrix is SPD; coarsening each extent by 2 reproduces the same operator
+/// on the coarse grid (the geometric-multigrid hierarchy of bench_hpcg).
+Csr<double> stencil27_3d(std::size_t nx, std::size_t ny, std::size_t nz);
+
 /// Symmetric tridiagonal Toeplitz [off, diag, off].  SPD when diag > 2|off|.
 Csr<double> tridiagonal(std::size_t n, double diag, double off);
 

@@ -289,6 +289,90 @@ class HaloPlan {
     proc.add_flops(adds);
   }
 
+  /// Pipelined Gauss–Seidel half-sweep exchange, phase 1 — call BEFORE the
+  /// local row sweep.  For an ascending (forward) sweep each rank
+  ///   1. ships its OLD owned boundary values to lower-ranked peers (their
+  ///      rows precede this rank's in global order, so this rank's entries
+  ///      are not-yet-updated columns there),
+  ///   2. refreshes ghosts owned by higher ranks with their OLD values, and
+  ///   3. blocks for UPDATED ghost values from lower-ranked owners — the
+  ///      sequential cross-rank dependency (the paper's Scenario 2) that
+  ///      makes the sweep bit-identical to a serial Gauss–Seidel pass in
+  ///      global row order, for any NP and any contiguous partition.
+  /// A descending (backward) sweep mirrors every direction.  Phase 2
+  /// (sweep_post) ships this rank's updated boundary values downstream.
+  /// Contiguous ownership means peer rank order IS global row order, so a
+  /// single recv loop in ascending peer rank serves both roles: upstream
+  /// owners' messages are their post-sweep values, downstream owners' are
+  /// their pre-sweep values, and per-(src, tag) FIFO keeps successive
+  /// half-sweeps paired.
+  template <class T>
+  void sweep_pre(msg::Process& proc, std::span<const T> owned,
+                 std::span<T> ghosts, std::vector<T>& pack,
+                 bool ascending) const {
+    HPFCG_REQUIRE(built_, "HaloPlan::sweep_pre before build");
+    HPFCG_REQUIRE(owned.size() == n_owned_ && ghosts.size() == n_ghosts(),
+                  "HaloPlan::sweep_pre: buffer sizes disagree with the plan");
+    proc.conform_halo(sizeof(T), topo_fp_);
+    trace::SpanScope span(
+        proc.tracer_rank(), trace::SpanKind::kHalo,
+        static_cast<std::uint32_t>(send_peers_.size() + recv_peers_.size()),
+        0, 0, /*aux=*/2);
+    const int me = proc.rank();
+    std::uint64_t bytes = 0;
+    std::uint64_t msgs = 0;
+    for (const Peer& pe : send_peers_) {
+      const bool upstream = ascending ? pe.rank < me : pe.rank > me;
+      if (!upstream) continue;
+      if (pack.size() < pe.count) pack.resize(pe.count);
+      for (std::size_t j = 0; j < pe.count; ++j) {
+        pack[j] = owned[send_idx_[pe.offset + j]];
+      }
+      proc.send<T>(pe.rank, kSweepTag,
+                   std::span<const T>(pack.data(), pe.count));
+      bytes += pe.count * sizeof(T);
+      ++msgs;
+    }
+    for (const Peer& pe : recv_peers_) {
+      proc.recv_into<T>(pe.rank, kSweepTag,
+                        ghosts.subspan(pe.offset, pe.count));
+    }
+    span.set_bytes(bytes);
+    auto& s = proc.stats();
+    s.halo_msgs += msgs;
+    s.halo_bytes += bytes;
+  }
+
+  /// Phase 2 of the pipelined half sweep: ship this rank's now-updated
+  /// boundary values to the peers the sweep has not reached yet (higher
+  /// ranks for an ascending sweep, lower for a descending one) — they are
+  /// blocked in their sweep_pre recv loop waiting for exactly these.
+  template <class T>
+  void sweep_post(msg::Process& proc, std::span<const T> owned,
+                  std::vector<T>& pack, bool ascending) const {
+    HPFCG_REQUIRE(built_, "HaloPlan::sweep_post before build");
+    HPFCG_REQUIRE(owned.size() == n_owned_,
+                  "HaloPlan::sweep_post: buffer size disagrees with the plan");
+    const int me = proc.rank();
+    std::uint64_t bytes = 0;
+    std::uint64_t msgs = 0;
+    for (const Peer& pe : send_peers_) {
+      const bool downstream = ascending ? pe.rank > me : pe.rank < me;
+      if (!downstream) continue;
+      if (pack.size() < pe.count) pack.resize(pe.count);
+      for (std::size_t j = 0; j < pe.count; ++j) {
+        pack[j] = owned[send_idx_[pe.offset + j]];
+      }
+      proc.send<T>(pe.rank, kSweepTag,
+                   std::span<const T>(pack.data(), pe.count));
+      bytes += pe.count * sizeof(T);
+      ++msgs;
+    }
+    auto& s = proc.stats();
+    s.halo_msgs += msgs;
+    s.halo_bytes += bytes;
+  }
+
   /// Modeled time of one forward replay under the machine's cost model.
   [[nodiscard]] double modeled_exchange_seconds(
       const msg::CostModel& model, std::size_t elem_size) const {
@@ -310,6 +394,7 @@ class HaloPlan {
   // matvec and a matvec_transpose in flight can never cross.
   static constexpr int kForwardTag = 0x2401;
   static constexpr int kReverseTag = 0x2402;
+  static constexpr int kSweepTag = 0x2403;  ///< pipelined GS half-sweeps
 
   bool built_ = false;
   std::size_t n_owned_ = 0;

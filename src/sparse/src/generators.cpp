@@ -1,7 +1,9 @@
 #include "hpfcg/sparse/generators.hpp"
 
 #include <cmath>
+#include <limits>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "hpfcg/sparse/coo.hpp"
@@ -10,9 +12,30 @@
 
 namespace hpfcg::sparse {
 
+namespace {
+
+/// Grid extents multiply into the matrix dimension; huge extents would wrap
+/// size_t and silently build a tiny wrong matrix.  Reject the overflow and
+/// name the extents, exactly like Distribution::cyclic_size rejects k*NP.
+std::size_t checked_grid_size(const char* who, std::size_t nx, std::size_t ny,
+                              std::size_t nz) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  HPFCG_REQUIRE(nx <= kMax / ny,
+                std::string(who) + ": nx*ny overflows size_t: nx=" +
+                    std::to_string(nx) + " ny=" + std::to_string(ny));
+  const std::size_t nxy = nx * ny;
+  HPFCG_REQUIRE(nxy <= kMax / nz,
+                std::string(who) + ": nx*ny*nz overflows size_t: nx=" +
+                    std::to_string(nx) + " ny=" + std::to_string(ny) +
+                    " nz=" + std::to_string(nz));
+  return nxy * nz;
+}
+
+}  // namespace
+
 Csr<double> laplacian_2d(std::size_t nx, std::size_t ny) {
   HPFCG_REQUIRE(nx >= 1 && ny >= 1, "laplacian_2d: empty grid");
-  const std::size_t n = nx * ny;
+  const std::size_t n = checked_grid_size("laplacian_2d", nx, ny, 1);
   Coo<double> coo(n, n);
   const auto id = [nx](std::size_t x, std::size_t y) { return y * nx + x; };
   for (std::size_t y = 0; y < ny; ++y) {
@@ -30,7 +53,7 @@ Csr<double> laplacian_2d(std::size_t nx, std::size_t ny) {
 
 Csr<double> laplacian_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
   HPFCG_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "laplacian_3d: empty grid");
-  const std::size_t n = nx * ny * nz;
+  const std::size_t n = checked_grid_size("laplacian_3d", nx, ny, nz);
   Coo<double> coo(n, n);
   const auto id = [nx, ny](std::size_t x, std::size_t y, std::size_t z) {
     return (z * ny + y) * nx + x;
@@ -46,6 +69,45 @@ Csr<double> laplacian_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
         if (y > 0) coo.add(i, id(x, y - 1, z), -1.0);
         if (z + 1 < nz) coo.add(i, id(x, y, z + 1), -1.0);
         if (z > 0) coo.add(i, id(x, y, z - 1), -1.0);
+      }
+    }
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+Csr<double> stencil27_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
+  HPFCG_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "stencil27_3d: empty grid");
+  const std::size_t n = checked_grid_size("stencil27_3d", nx, ny, nz);
+  Coo<double> coo(n, n);
+  const auto id = [nx, ny](std::size_t x, std::size_t y, std::size_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t i = id(x, y, z);
+        coo.add(i, i, 26.0);
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const auto xx = static_cast<std::ptrdiff_t>(x) + dx;
+              const auto yy = static_cast<std::ptrdiff_t>(y) + dy;
+              const auto zz = static_cast<std::ptrdiff_t>(z) + dz;
+              if (xx < 0 || yy < 0 || zz < 0 ||
+                  xx >= static_cast<std::ptrdiff_t>(nx) ||
+                  yy >= static_cast<std::ptrdiff_t>(ny) ||
+                  zz >= static_cast<std::ptrdiff_t>(nz)) {
+                continue;
+              }
+              coo.add(i,
+                      id(static_cast<std::size_t>(xx),
+                         static_cast<std::size_t>(yy),
+                         static_cast<std::size_t>(zz)),
+                      -1.0);
+            }
+          }
+        }
       }
     }
   }

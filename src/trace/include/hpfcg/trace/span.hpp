@@ -56,6 +56,9 @@ enum class SpanKind : std::uint8_t {
   // reproducible-mode reduction (hpfcg::repro): one exact superaccumulator
   // all-reduce; a = batch width, bytes = width * sizeof(Superacc)
   kReproMerge,
+  // one multigrid level's share of a V-cycle (solvers::MgPreconditioner):
+  // a = level index (0 = finest), bytes = level rows * sizeof(double)
+  kMgLevel,
 };
 
 /// Human-readable span kind (stable names; used by the Chrome exporter).

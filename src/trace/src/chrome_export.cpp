@@ -40,6 +40,7 @@ int lane_of(SpanKind k) {
     case SpanKind::kPrecond:
     case SpanKind::kIteration:
     case SpanKind::kRedistribute:
+    case SpanKind::kMgLevel:
       return 2;
   }
   return 0;

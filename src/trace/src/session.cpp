@@ -31,6 +31,7 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kHalo: return "halo";
     case SpanKind::kGatherFull: return "gather_full";
     case SpanKind::kReproMerge: return "repro_merge";
+    case SpanKind::kMgLevel: return "mg_level";
   }
   return "?";
 }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "hpfcg/race/replay.hpp"
 #include "hpfcg/repro/repro.hpp"
 #include "hpfcg/solvers/dist_solvers.hpp"
+#include "hpfcg/solvers/multigrid.hpp"
 #include "hpfcg/solvers/preconditioner.hpp"
 #include "hpfcg/solvers/rebalance.hpp"
 #include "hpfcg/sparse/dist_csr.hpp"
@@ -266,6 +268,52 @@ TEST_P(RaceReplaySolverTest, PcgFusedReproRebalanceIsReplayInvariant) {
                .track_residuals = true,
                .rebalance_every = 3},
               hook);
+          if (p.rank() == 0) run.signature = res.residual_signature();
+        });
+        run.races = rt.racer()->race_count();
+        return run;
+      });
+
+  EXPECT_TRUE(report.deterministic())
+      << report.identical << "/" << report.perturbed.size() << " identical";
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.baseline.races, 0u);
+}
+
+TEST_P(RaceReplaySolverTest, MgPcgIsReplayInvariant) {
+  // The multigrid V-cycle's message surface under adversarial delivery:
+  // pipelined symGS half-sweeps (kSweepTag), grid-transfer injections
+  // (kRestrictTag/kProlongTag), and halo exchanges on every level.  All of
+  // its receives are directed per-source on fixed tags, so 20 perturbed
+  // schedules must reproduce the baseline residual history bit for bit
+  // with zero flagged races.
+  const int np = GetParam();
+  constexpr std::array<std::size_t, 3> dims{8, 8, 4};
+  const auto a = sp::stencil27_3d(dims[0], dims[1], dims[2]);
+  const auto b_full = sp::random_rhs(a.n_rows(), 83);
+
+  const auto report = race::perturbed_replay(
+      20, 0x519du + static_cast<std::uint64_t>(np),
+      [&](std::uint64_t seed) {
+        hpfcg::sparse::halo::ScopedEnable halo_on(true);
+        race::ScopedEnable on;
+        race::ScopedReplaySeed replay(seed);
+        Runtime rt(np);
+        race::ReplayRun run;
+        rt.run([&](Process& p) {
+          auto dist = share(Distribution::block(a.n_rows(), p.nprocs()));
+          auto mat = sp::DistCsr<double>::row_aligned(p, a, dist);
+          mat.prepare_halo();
+          DistributedVector<double> b(p, dist), x(p, dist);
+          b.from_global(b_full);
+          sv::MgPreconditioner mg(p, mat, dims,
+                                  {.smoother = sv::MgSmoother::kExactSymGs});
+          const sv::DistOp<double> op =
+              [&](const DistributedVector<double>& q,
+                  DistributedVector<double>& out) { mat.matvec(q, out); };
+          const auto res = sv::pcg_dist<double>(
+              op, mg.prec(), b, x,
+              {.rel_tolerance = 1e-10, .track_residuals = true});
           if (p.rank() == 0) run.signature = res.residual_signature();
         });
         run.races = rt.racer()->race_count();

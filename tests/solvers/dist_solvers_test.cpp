@@ -265,4 +265,45 @@ TEST_P(DistSolversTest, BicgCostsMoreCommunicationThanCg) {
 INSTANTIATE_TEST_SUITE_P(MachineSizes, DistSolversTest,
                          ::testing::ValuesIn(test_machine_sizes()));
 
+TEST(ZeroRhs, SerialAndDistAgreeOnAbsoluteResidualBranch) {
+  // b = 0 switches the stopping rule to an ABSOLUTE residual (the
+  // bnorm > 0 ? rnorm/bnorm : rnorm branch).  Serial and distributed
+  // solvers must take the same branch: x0 = 0 means r = 0, so both stop
+  // before iterating with relative_residual exactly 0, and the trajectory
+  // fingerprints match.
+  const auto a = sp::laplacian_2d(6, 6);
+  const std::size_t n = a.n_rows();
+  const std::vector<double> b_zero(n, 0.0);
+
+  std::vector<double> x_ref(n, 0.0);
+  const auto ref = sv::cg(a, b_zero, x_ref, {.track_residuals = true});
+  EXPECT_TRUE(ref.converged);
+  EXPECT_EQ(ref.iterations, 0u);
+  EXPECT_EQ(ref.relative_residual, 0.0);
+
+  std::vector<double> xp_ref(n, 0.0);
+  const auto pref = sv::pcg(a, sv::jacobi_preconditioner(a), b_zero, xp_ref,
+                            {.track_residuals = true});
+  EXPECT_TRUE(pref.converged);
+  EXPECT_EQ(pref.relative_residual, 0.0);
+
+  for (const int np : test_machine_sizes()) {
+    run_spmd(np, [&](Process& proc) {
+      auto dist = share(Distribution::block(n, proc.nprocs()));
+      auto mat = sp::DistCsr<double>::row_aligned(proc, a, dist);
+      DistributedVector<double> b(proc, dist), x(proc, dist);
+      const sv::DistOp<double> op = [&](const DistributedVector<double>& p,
+                                        DistributedVector<double>& q) {
+        mat.matvec(p, q);
+      };
+      const auto res =
+          sv::cg_dist<double>(op, b, x, {.track_residuals = true});
+      EXPECT_TRUE(res.converged);
+      EXPECT_EQ(res.iterations, ref.iterations);
+      EXPECT_EQ(res.relative_residual, ref.relative_residual);
+      EXPECT_EQ(res.residual_signature(), ref.residual_signature());
+    });
+  }
+}
+
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hpfcg/solvers/serial.hpp"
@@ -51,6 +52,29 @@ TEST(Stationary, SorBeatsJacobiAndGaussSeidelBeatsNeither) {
   ASSERT_TRUE(rsor.converged);
   EXPECT_LT(rgs.iterations, rj.iterations);    // GS ~ half of Jacobi
   EXPECT_LT(rsor.iterations, rgs.iterations);  // tuned SOR beats GS
+}
+
+TEST(Stationary, ZeroDiagonalDiagnosticNamesTheRow) {
+  // Row 1 has no diagonal entry: both stationary sweeps divide by it, so
+  // they must refuse with a message that names the offending row.
+  const std::vector<double> dense = {2.0, -1.0, 0.0,   //
+                                     -1.0, 0.0, -1.0,  //
+                                     0.0, -1.0, 2.0};
+  const auto a = hpfcg::sparse::Csr<double>::from_dense(3, 3, dense);
+  const std::vector<double> b = {1.0, 1.0, 1.0};
+  std::vector<double> x(3, 0.0);
+  const auto expect_names_row = [&](auto&& call) {
+    try {
+      call();
+      FAIL() << "expected a zero-diagonal diagnostic";
+    } catch (const hpfcg::util::Error& e) {
+      EXPECT_NE(std::string(e.what()).find("zero diagonal entry in row 1"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  expect_names_row([&] { (void)sv::jacobi_iteration(a, b, x); });
+  expect_names_row([&] { (void)sv::sor_iteration(a, b, x, 1.0); });
 }
 
 TEST(Stationary, SorRejectsBadOmega) {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "hpfcg/sparse/generators.hpp"
 
@@ -45,6 +46,38 @@ TEST(Laplacian3D, StructureAndSymmetry) {
   EXPECT_TRUE(a.is_symmetric());
   EXPECT_EQ(a.row_nnz(13), 7u);  // center of the cube
   EXPECT_DOUBLE_EQ(a.at(13, 13), 6.0);
+}
+
+TEST(Stencil27, StructureAndSymmetry) {
+  const auto a = sp::stencil27_3d(4, 4, 4);
+  ASSERT_EQ(a.n_rows(), 64u);
+  EXPECT_TRUE(a.is_symmetric());
+  // Interior point couples to all 26 neighbours plus itself; a corner sees
+  // a 2x2x2 cube.
+  const std::size_t interior = (1 * 4 + 1) * 4 + 1;  // (1,1,1)
+  EXPECT_EQ(a.row_nnz(interior), 27u);
+  EXPECT_EQ(a.row_nnz(0), 8u);
+  EXPECT_DOUBLE_EQ(a.at(interior, interior), 26.0);
+  EXPECT_DOUBLE_EQ(a.at(interior, interior + 1), -1.0);
+  // Interior row sum vanishes (26 - 26*1); boundary rows are strictly
+  // dominant — the HPCG SPD construction.
+  double sum = 0.0;
+  for (const double v : a.row_values(interior)) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 0.0);
+  double corner = 0.0;
+  for (const double v : a.row_values(0)) corner += v;
+  EXPECT_GT(corner, 0.0);
+}
+
+TEST(GridGenerators, RejectSizeOverflow) {
+  // nx*ny (or *nz) would wrap size_t; the guard must throw, not truncate.
+  constexpr std::size_t kHuge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW((void)sp::laplacian_2d(kHuge, 3), hpfcg::util::Error);
+  EXPECT_THROW((void)sp::laplacian_3d(kHuge, 2, 2), hpfcg::util::Error);
+  EXPECT_THROW((void)sp::laplacian_3d(2, kHuge, 3), hpfcg::util::Error);
+  EXPECT_THROW((void)sp::stencil27_3d(kHuge, 4, 2), hpfcg::util::Error);
+  EXPECT_THROW((void)sp::stencil27_3d(1u << 20, 1u << 20, 1u << 24),
+               hpfcg::util::Error);
 }
 
 TEST(Tridiagonal, Structure) {
